@@ -1,0 +1,23 @@
+//! Figure 1: per-receiver average normalized recovery times, SRM vs CESRM.
+//! Prints the series, then times full trace reenactments under both
+//! protocols.
+
+use bench::{reenact_cesrm, reenact_srm, representative_suite, timing_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    println!("{}", representative_suite().fig1_text());
+    let trace = timing_trace(4);
+    let mut group = c.benchmark_group("fig1/reenact");
+    group.sample_size(10);
+    group.bench_function("srm", |b| {
+        b.iter(|| std::hint::black_box(reenact_srm(&trace).mean_norm_recovery()));
+    });
+    group.bench_function("cesrm", |b| {
+        b.iter(|| std::hint::black_box(reenact_cesrm(&trace).mean_norm_recovery()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 2: the RTT difference between expedited and non-expedited CESRM
+//! recoveries. Prints the per-receiver series, then times the CESRM
+//! reenactment plus gap extraction.
+
+use bench::{reenact_cesrm, representative_suite, timing_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("{}", representative_suite().fig2_text());
+    let trace = timing_trace(7);
+    let mut group = c.benchmark_group("fig2/expedited_gap");
+    group.sample_size(10);
+    group.bench_function("cesrm_gap", |b| {
+        b.iter(|| {
+            let m = reenact_cesrm(&trace);
+            let (exp, normal) = m.mean_latency_by_class();
+            std::hint::black_box(normal.unwrap_or(0.0) - exp.unwrap_or(0.0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

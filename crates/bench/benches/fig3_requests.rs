@@ -1,0 +1,34 @@
+//! Figure 3: request packets sent per node (SRM multicast vs CESRM
+//! multicast + expedited unicast). Prints the series, then times the
+//! request accounting.
+
+use bench::{reenact_cesrm, reenact_srm, representative_suite, timing_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("{}", representative_suite().fig3_text());
+    let trace = timing_trace(13);
+    let mut group = c.benchmark_group("fig3/requests");
+    group.sample_size(10);
+    group.bench_function("srm_request_counts", |b| {
+        b.iter(|| {
+            let m = reenact_srm(&trace);
+            std::hint::black_box(m.requests_by_node.iter().map(|r| r.1).sum::<u64>())
+        });
+    });
+    group.bench_function("cesrm_request_counts", |b| {
+        b.iter(|| {
+            let m = reenact_cesrm(&trace);
+            std::hint::black_box(
+                m.requests_by_node
+                    .iter()
+                    .map(|r| r.1 + r.2)
+                    .sum::<u64>(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 4: reply packets sent per node (SRM vs CESRM, normal vs
+//! expedited). Prints the series, then times the reply accounting.
+
+use bench::{reenact_cesrm, reenact_srm, representative_suite, timing_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    println!("{}", representative_suite().fig4_text());
+    let trace = timing_trace(9);
+    let mut group = c.benchmark_group("fig4/replies");
+    group.sample_size(10);
+    group.bench_function("srm_reply_counts", |b| {
+        b.iter(|| {
+            let m = reenact_srm(&trace);
+            std::hint::black_box(m.replies_by_node.iter().map(|r| r.1).sum::<u64>())
+        });
+    });
+    group.bench_function("cesrm_reply_counts", |b| {
+        b.iter(|| {
+            let m = reenact_cesrm(&trace);
+            std::hint::black_box(m.replies_by_node.iter().map(|r| r.1 + r.2).sum::<u64>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

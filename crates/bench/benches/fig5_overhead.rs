@@ -1,0 +1,26 @@
+//! Figure 5: expedited-recovery success rate per trace, and CESRM
+//! transmission overhead as a percentage of SRM's. Prints the series, then
+//! times the paired reenactment + overhead extraction.
+
+use bench::{reenact_cesrm, reenact_srm, representative_suite, timing_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("{}", representative_suite().fig5_text());
+    let trace = timing_trace(11);
+    let mut group = c.benchmark_group("fig5/overhead");
+    group.sample_size(10);
+    group.bench_function("overhead_ratio", |b| {
+        b.iter(|| {
+            let srm = reenact_srm(&trace);
+            let cesrm = reenact_cesrm(&trace);
+            std::hint::black_box(
+                cesrm.overhead.recovery_total() as f64 / srm.overhead.recovery_total().max(1) as f64,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

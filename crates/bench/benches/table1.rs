@@ -1,0 +1,23 @@
+//! Table 1: trace synthesis. Prints the trace inventory, then times the
+//! synthetic trace generator (topology + calibration + Gilbert processes)
+//! per representative trace.
+
+use bench::{representative_suite, TIMING_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use traces::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", representative_suite().table1_text());
+    let mut group = c.benchmark_group("table1/generate");
+    group.sample_size(10);
+    for number in [1usize, 3, 13] {
+        let spec = table1()[number - 1].scaled(TIMING_SCALE);
+        group.bench_function(spec.name, |b| {
+            b.iter(|| std::hint::black_box(spec.generate(7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

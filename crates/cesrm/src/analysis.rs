@@ -1,0 +1,80 @@
+//! The back-of-the-envelope latency analysis of paper §3.4.
+//!
+//! With `d` an upper bound on the one-way inter-host distance (so
+//! `RTT = 2d`):
+//!
+//! * Equation (1): a successful **first-round non-expedited** recovery takes
+//!   on average roughly
+//!   `(C1 + C2/2)·d + d + (D1 + D2/2)·d + d` —
+//!   request suppression delay at the interval midpoint, request
+//!   propagation, reply suppression delay at the midpoint, reply
+//!   propagation.
+//! * Equation (2): a successful **expedited** recovery takes at most
+//!   `REORDER-DELAY + RTT`.
+//!
+//! With the paper's parameters (`C1 = C2 = 2`, `D1 = D2 = 1`) equation (1)
+//! gives `6.5 d = 3.25 RTT`, so expedited recovery saves roughly
+//! `2.25 RTT` when `REORDER-DELAY ≈ 0`.
+
+use netsim::SimDuration;
+use srm::SrmParams;
+
+/// Equation (1) in units of the one-way distance `d`: the rough upper
+/// bound on the average latency of a successful first-round non-expedited
+/// recovery.
+pub fn non_expedited_avg_bound_d(params: &SrmParams) -> f64 {
+    (params.c1 + 0.5 * params.c2) + 1.0 + (params.d1 + 0.5 * params.d2) + 1.0
+}
+
+/// Equation (1) in units of RTT (`RTT = 2d`).
+pub fn non_expedited_avg_bound_rtt(params: &SrmParams) -> f64 {
+    non_expedited_avg_bound_d(params) / 2.0
+}
+
+/// Equation (2): upper bound on a successful expedited recovery's latency.
+pub fn expedited_bound(reorder_delay: SimDuration, rtt: SimDuration) -> SimDuration {
+    reorder_delay + rtt
+}
+
+/// The predicted latency reduction of expedited over first-round
+/// non-expedited recoveries, in RTT units, assuming
+/// `REORDER-DELAY ≪ RTT` (§3.4).
+pub fn predicted_gain_rtt(params: &SrmParams) -> f64 {
+    non_expedited_avg_bound_rtt(params) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let p = SrmParams::paper_default();
+        // 6.5 d with C1=C2=2, D1=D2=1.
+        assert!((non_expedited_avg_bound_d(&p) - 6.5).abs() < 1e-12);
+        // 3.25 RTT.
+        assert!((non_expedited_avg_bound_rtt(&p) - 3.25).abs() < 1e-12);
+        // Saving roughly 2.25 RTT.
+        assert!((predicted_gain_rtt(&p) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expedited_bound_adds_reorder_delay() {
+        let rtt = SimDuration::from_millis(80);
+        assert_eq!(expedited_bound(SimDuration::ZERO, rtt), rtt);
+        assert_eq!(
+            expedited_bound(SimDuration::from_millis(5), rtt),
+            SimDuration::from_millis(85)
+        );
+    }
+
+    #[test]
+    fn bound_scales_with_suppression_parameters() {
+        let lax = SrmParams {
+            c1: 4.0,
+            c2: 4.0,
+            ..SrmParams::paper_default()
+        };
+        assert!(non_expedited_avg_bound_rtt(&lax) > non_expedited_avg_bound_rtt(&SrmParams::paper_default()));
+    }
+}

@@ -1,0 +1,187 @@
+use netsim::RecoveryTuple;
+
+use crate::RecoveryCache;
+
+/// Policy selecting the expeditious requestor/replier pair for a new loss
+/// from the cached optimal pairs (paper §3.2).
+///
+/// The paper evaluates the *most recent loss* policy and reports (citing
+/// \[10\]) that it outperforms the *most frequent loss* policy because loss
+/// location correlates most strongly with the most recent loss.
+pub trait ExpeditionPolicy {
+    /// Picks the tuple whose pair should carry out the expedited recovery,
+    /// or `None` when the cache offers no candidate.
+    fn select(&self, cache: &RecoveryCache) -> Option<RecoveryTuple>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Select the optimal pair of the most recent recovered loss (§4.3) — the
+/// policy used for all of the paper's reported results. A cache of capacity
+/// 1 suffices for it.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MostRecentLoss;
+
+impl ExpeditionPolicy for MostRecentLoss {
+    fn select(&self, cache: &RecoveryCache) -> Option<RecoveryTuple> {
+        cache.most_recent().copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "most-recent-loss"
+    }
+}
+
+/// Select the pair appearing most frequently among the cached optimal pairs
+/// (§3.2).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MostFrequentLoss;
+
+impl ExpeditionPolicy for MostFrequentLoss {
+    fn select(&self, cache: &RecoveryCache) -> Option<RecoveryTuple> {
+        cache.most_frequent().copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "most-frequent-loss"
+    }
+}
+
+/// A "more sophisticated policy" of the kind §3.2 invites: score each
+/// cached pair by exponentially decayed recency (the most recent tuple
+/// weighs 1, the one before `decay`, then `decay²`, …) and pick the
+/// best-scoring pair. Interpolates between [`MostRecentLoss`]
+/// (`decay → 0`) and [`MostFrequentLoss`] (`decay → 1`).
+#[derive(Clone, Copy, Debug)]
+pub struct RecencyWeighted {
+    /// Per-step decay factor in `(0, 1)`.
+    pub decay: f64,
+}
+
+impl RecencyWeighted {
+    /// A policy with the given decay factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay < 1`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "decay must lie strictly between 0 and 1"
+        );
+        RecencyWeighted { decay }
+    }
+}
+
+impl Default for RecencyWeighted {
+    fn default() -> Self {
+        RecencyWeighted::new(0.6)
+    }
+}
+
+impl ExpeditionPolicy for RecencyWeighted {
+    fn select(&self, cache: &RecoveryCache) -> Option<RecoveryTuple> {
+        let mut scores: std::collections::BTreeMap<(topology::NodeId, topology::NodeId), f64> =
+            Default::default();
+        let mut weight = 1.0;
+        let tuples: Vec<&RecoveryTuple> = cache.iter().collect();
+        for t in tuples.iter().rev() {
+            *scores.entry(t.pair()).or_insert(0.0) += weight;
+            weight *= self.decay;
+        }
+        let (best_pair, _) = scores
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        tuples.into_iter().rev().find(|t| t.pair() == best_pair).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "recency-weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{PacketId, SeqNo, SimDuration};
+    use topology::NodeId;
+
+    fn tuple(seq: u64, q: u32, r: u32) -> RecoveryTuple {
+        RecoveryTuple {
+            id: PacketId {
+                source: NodeId::ROOT,
+                seq: SeqNo(seq),
+            },
+            requestor: NodeId(q),
+            dist_req_src: SimDuration::from_millis(40),
+            replier: NodeId(r),
+            dist_rep_req: SimDuration::from_millis(40),
+            turning_point: None,
+        }
+    }
+
+    #[test]
+    fn policies_disagree_when_recency_and_frequency_diverge() {
+        let mut cache = RecoveryCache::new(8);
+        cache.observe(tuple(1, 1, 2));
+        cache.observe(tuple(2, 1, 2));
+        cache.observe(tuple(3, 7, 8));
+        let recent = MostRecentLoss.select(&cache).unwrap();
+        let frequent = MostFrequentLoss.select(&cache).unwrap();
+        assert_eq!(recent.pair(), (NodeId(7), NodeId(8)));
+        assert_eq!(frequent.pair(), (NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_cache_selects_nothing() {
+        let cache = RecoveryCache::new(4);
+        assert!(MostRecentLoss.select(&cache).is_none());
+        assert!(MostFrequentLoss.select(&cache).is_none());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MostRecentLoss.name(), "most-recent-loss");
+        assert_eq!(MostFrequentLoss.name(), "most-frequent-loss");
+        assert_eq!(RecencyWeighted::default().name(), "recency-weighted");
+    }
+
+    #[test]
+    fn recency_weighted_interpolates() {
+        let mut cache = RecoveryCache::new(8);
+        // Pair (1,2) appears 3 times early; pair (7,8) once, most recently.
+        cache.observe(tuple(1, 1, 2));
+        cache.observe(tuple(2, 1, 2));
+        cache.observe(tuple(3, 1, 2));
+        cache.observe(tuple(4, 7, 8));
+        // Strong decay behaves like most-recent.
+        let sharp = RecencyWeighted::new(0.1).select(&cache).unwrap();
+        assert_eq!(sharp.pair(), (NodeId(7), NodeId(8)));
+        // Weak decay behaves like most-frequent.
+        let flat = RecencyWeighted::new(0.95).select(&cache).unwrap();
+        assert_eq!(flat.pair(), (NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn recency_weighted_returns_most_recent_tuple_of_best_pair() {
+        let mut cache = RecoveryCache::new(8);
+        cache.observe(tuple(1, 1, 2));
+        cache.observe(tuple(5, 1, 2));
+        let t = RecencyWeighted::default().select(&cache).unwrap();
+        assert_eq!(t.id.seq, SeqNo(5));
+    }
+
+    #[test]
+    fn recency_weighted_empty_cache() {
+        assert!(RecencyWeighted::default()
+            .select(&RecoveryCache::new(4))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between 0 and 1")]
+    fn bad_decay_rejected() {
+        RecencyWeighted::new(1.0);
+    }
+}

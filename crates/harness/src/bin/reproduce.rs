@@ -1,0 +1,111 @@
+//! Regenerates every table and figure of the CESRM paper (DSN 2004).
+//!
+//! ```text
+//! cargo run --release -p harness --bin reproduce -- [--scale F] [--seed N]
+//!     [--traces 1,2,3] [--link-delay-ms MS] [--lossy-recovery]
+//! ```
+//!
+//! At `--scale 1.0` (default) the full Table-1 packet counts are reenacted;
+//! use `--scale 0.1` for a quick pass with the same loss rates.
+
+use harness::{run_suite, SuiteConfig};
+
+fn main() {
+    let mut cfg = SuiteConfig::paper_default();
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut seeds: u32 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                cfg.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale requires a number in (0, 1]");
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--traces" => {
+                let list = args.next().expect("--traces requires e.g. 1,2,3");
+                cfg.traces = Some(
+                    list.split(',')
+                        .map(|t| t.parse().expect("trace numbers are 1..=14"))
+                        .collect(),
+                );
+            }
+            "--link-delay-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--link-delay-ms requires an integer");
+                cfg = cfg.with_link_delay_ms(ms);
+            }
+            "--lossy-recovery" => cfg.experiment.lossy_recovery = true,
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds requires a count");
+            }
+            "--csv-dir" => {
+                csv_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--csv-dir requires a path"),
+                ));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "running suite: scale {:.3}, seed {}, link delay {}, lossy recovery {}",
+        cfg.scale,
+        cfg.seed,
+        cfg.experiment.net.link_delay,
+        cfg.experiment.lossy_recovery
+    );
+    let result = run_suite(&cfg);
+    println!("{}", result.table1_text());
+    println!("{}", result.locality_text());
+    println!("{}", result.attribution_text());
+    println!("{}", result.fig1_text());
+    println!("{}", result.fig1_chart());
+    println!("{}", result.latency_distribution_text());
+    println!("{}", result.fig2_text());
+    println!("{}", result.fig3_text());
+    println!("{}", result.fig4_text());
+    println!("{}", result.fig5_text());
+    println!("{}", result.summary_text());
+    if let Some(dir) = csv_dir {
+        match result.write_csv_files(&dir) {
+            Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
+            Err(e) => {
+                eprintln!("failed to write CSVs: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if seeds > 1 {
+        let list: Vec<u64> = (0..seeds as u64).map(|i| cfg.seed.wrapping_add(i)).collect();
+        eprintln!("sweeping {} seeds for dispersion...", list.len());
+        let sweep = harness::seed_sweep(&cfg, &list);
+        println!("Across-seed dispersion ({} seeds):", sweep.runs);
+        println!(
+            "  latency reduction {:.1}% ± {:.1}%",
+            sweep.latency_reduction_pct.mean, sweep.latency_reduction_pct.sd
+        );
+        println!(
+            "  expedited success {:.1}% ± {:.1}%",
+            sweep.expedited_success_pct.mean, sweep.expedited_success_pct.sd
+        );
+        println!(
+            "  retransmission overhead {:.1}% ± {:.1}% of SRM",
+            sweep.retransmission_pct.mean, sweep.retransmission_pct.sd
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! CSV export of every figure's data series, for external plotting.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::SuiteResult;
+
+impl SuiteResult {
+    /// Writes one CSV per table/figure into `dir` (created if missing) and
+    /// returns the written paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv_files(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let mut write = |name: &str, contents: String| -> io::Result<()> {
+            let path = dir.join(name);
+            fs::write(&path, contents)?;
+            written.push(path);
+            Ok(())
+        };
+
+        let mut t1 = String::from(
+            "trace,name,receivers,depth,period_ms,packets,losses_target,losses_realized\n",
+        );
+        for p in &self.pairs {
+            t1.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                p.spec.number,
+                p.spec.name,
+                p.spec.receivers,
+                p.spec.depth,
+                p.spec.period_ms,
+                p.spec.packets,
+                p.spec.losses,
+                p.srm.losses
+            ));
+        }
+        write("table1.csv", t1)?;
+
+        let mut f1 = String::from("trace,receiver,srm_rtt,cesrm_rtt\n");
+        let mut f2 = String::from("trace,receiver,gap_rtt\n");
+        for p in &self.pairs {
+            for (i, (s, c)) in p.srm.reports.iter().zip(&p.cesrm.reports).enumerate() {
+                f1.push_str(&format!(
+                    "{},{},{:.4},{:.4}\n",
+                    p.spec.name,
+                    i + 1,
+                    s.avg_norm_recovery,
+                    c.avg_norm_recovery
+                ));
+                if let Some(g) = c.expedited_gap() {
+                    f2.push_str(&format!("{},{},{:.4}\n", p.spec.name, i + 1, g));
+                }
+            }
+        }
+        write("fig1_recovery_time.csv", f1)?;
+        write("fig2_expedited_gap.csv", f2)?;
+
+        let mut f3 = String::from("trace,node,srm_mcast,cesrm_mcast,cesrm_exp_ucast\n");
+        let mut f4 = String::from("trace,node,srm_replies,cesrm_replies,cesrm_exp_replies\n");
+        for p in &self.pairs {
+            for (i, (s, c)) in p
+                .srm
+                .requests_by_node
+                .iter()
+                .zip(&p.cesrm.requests_by_node)
+                .enumerate()
+            {
+                f3.push_str(&format!("{},{},{},{},{}\n", p.spec.name, i, s.1, c.1, c.2));
+            }
+            for (i, (s, c)) in p
+                .srm
+                .replies_by_node
+                .iter()
+                .zip(&p.cesrm.replies_by_node)
+                .enumerate()
+            {
+                f4.push_str(&format!("{},{},{},{},{}\n", p.spec.name, i, s.1, c.1, c.2));
+            }
+        }
+        write("fig3_requests.csv", f3)?;
+        write("fig4_replies.csv", f4)?;
+
+        let mut f5 = String::from(
+            "trace,exp_success_pct,retrans_pct,mcast_ctrl_pct,ucast_ctrl_pct,latency_reduction_pct\n",
+        );
+        for p in &self.pairs {
+            let srm_ctrl = p.srm.overhead.control_total().max(1) as f64;
+            f5.push_str(&format!(
+                "{},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+                p.spec.name,
+                p.cesrm.expedited_success_rate() * 100.0,
+                p.retransmission_overhead_ratio() * 100.0,
+                p.cesrm.overhead.control_multicast as f64 / srm_ctrl * 100.0,
+                p.cesrm.overhead.control_unicast as f64 / srm_ctrl * 100.0,
+                (1.0 - p.latency_ratio()) * 100.0,
+            ));
+        }
+        write("fig5_overhead.csv", f5)?;
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_suite, SuiteConfig};
+
+    #[test]
+    fn csv_files_written_and_well_formed() {
+        let mut cfg = SuiteConfig::quick(0.01);
+        cfg.traces = Some(vec![4]);
+        let r = run_suite(&cfg);
+        let dir = std::env::temp_dir().join("cesrm_csv_test");
+        let written = r.write_csv_files(&dir).unwrap();
+        assert_eq!(written.len(), 6);
+        for path in &written {
+            let body = std::fs::read_to_string(path).unwrap();
+            let mut lines = body.lines();
+            let header = lines.next().unwrap();
+            assert!(header.contains(','), "header missing in {path:?}");
+            let cols = header.split(',').count();
+            for line in lines {
+                assert_eq!(
+                    line.split(',').count(),
+                    cols,
+                    "ragged row in {path:?}: {line}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,344 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cesrm::{CesrmAgent, CesrmConfig};
+use lossmap::{infer_link_drops, yajnik_rates, AttributionStats};
+use metrics::{
+    per_receiver_reports, OverheadBreakdown, PacketKind, ReceiverReport, RecoveryLog,
+    TrafficCollector,
+};
+use netsim::{
+    NetConfig, ProbabilisticLoss, SeqNo, SimDuration, SimTime, Simulator, TraceLoss,
+};
+use srm::{SourceConfig, SrmAgent, SrmParams};
+use topology::NodeId;
+use traces::Trace;
+
+/// Which protocol to reenact a trace under.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Protocol {
+    /// Plain SRM (the baseline).
+    Srm,
+    /// CESRM with the given configuration.
+    Cesrm(CesrmConfig),
+}
+
+/// Per-run simulation settings.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExperimentConfig {
+    /// Network model; the paper uses 1.5 Mbps links with 20 ms delay.
+    pub net: NetConfig,
+    /// Session warm-up before the first data packet, so distances are
+    /// established (§4.3).
+    pub warmup: SimDuration,
+    /// Extra simulated time after the last data packet for outstanding
+    /// recoveries (tail losses are detected via 1 s-period sessions).
+    pub drain: SimDuration,
+    /// Also drop recovery traffic probabilistically per the estimated link
+    /// loss rates — the paper's side experiment from \[10\]; the main
+    /// results use lossless recovery.
+    pub lossy_recovery: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's §4.3 setup.
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            net: NetConfig::paper_default(),
+            warmup: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(40),
+            lossy_recovery: false,
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper_default()
+    }
+}
+
+/// One recovered loss: receiver, latency normalized by that receiver's RTT
+/// to the source, and whether the repair came through the expedited scheme.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RecoverySample {
+    /// The receiver that suffered and recovered the loss.
+    pub receiver: NodeId,
+    /// Detection-to-repair latency in units of the receiver's source RTT.
+    pub norm_latency: f64,
+    /// `true` when repaired by an expedited reply.
+    pub expedited: bool,
+}
+
+/// Everything measured in one trace × protocol reenactment.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Per-receiver latency aggregates (Fig. 1–2 series).
+    pub reports: Vec<ReceiverReport>,
+    /// Per-node `(multicast requests, expedited unicast requests)` counts,
+    /// source first then receivers (Fig. 3 series).
+    pub requests_by_node: Vec<(NodeId, u64, u64)>,
+    /// Per-node `(normal replies, expedited replies)` counts (Fig. 4
+    /// series).
+    pub replies_by_node: Vec<(NodeId, u64, u64)>,
+    /// Link-crossing overhead split (Fig. 5 right).
+    pub overhead: OverheadBreakdown,
+    /// Total expedited requests sent (Fig. 5 left denominator).
+    pub expedited_requests: u64,
+    /// Total expedited replies sent (Fig. 5 left numerator).
+    pub expedited_replies: u64,
+    /// Losses never recovered by the end of the run.
+    pub unrecovered: usize,
+    /// Total losses detected.
+    pub losses: usize,
+    /// The §4.2 attribution confidence statistics of the loss injection
+    /// used for this run.
+    pub attribution: AttributionStats,
+    /// Every recovered loss with its normalized latency (for latency
+    /// distributions and deadline analyses).
+    pub samples: Vec<RecoverySample>,
+    /// Link crossings by expedited replies only (exposure accounting for
+    /// the router-assisted variant, §3.3).
+    pub expedited_reply_crossings: u64,
+}
+
+impl RunMetrics {
+    /// Mean of the per-receiver average normalized recovery times, over
+    /// receivers that recovered at least one loss.
+    pub fn mean_norm_recovery(&self) -> f64 {
+        let with: Vec<_> = self.reports.iter().filter(|r| r.recovered > 0).collect();
+        if with.is_empty() {
+            return 0.0;
+        }
+        with.iter().map(|r| r.avg_norm_recovery).sum::<f64>() / with.len() as f64
+    }
+
+    /// Fraction of expedited requests answered by an expedited reply
+    /// (Fig. 5 left).
+    pub fn expedited_success_rate(&self) -> f64 {
+        if self.expedited_requests == 0 {
+            0.0
+        } else {
+            self.expedited_replies as f64 / self.expedited_requests as f64
+        }
+    }
+
+    /// Fraction of detected losses repaired within `deadline_rtt` RTTs of
+    /// detection (unrecovered losses count as misses).
+    pub fn fraction_within(&self, deadline_rtt: f64) -> f64 {
+        if self.losses == 0 {
+            return 1.0;
+        }
+        let on_time = self
+            .samples
+            .iter()
+            .filter(|s| s.norm_latency <= deadline_rtt)
+            .count();
+        on_time as f64 / self.losses as f64
+    }
+
+    /// Mean latency of expedited vs non-expedited recoveries across all
+    /// samples, in RTT units (`None` when a class is empty).
+    pub fn mean_latency_by_class(&self) -> (Option<f64>, Option<f64>) {
+        let mean = |expedited: bool| {
+            let v: Vec<f64> = self
+                .samples
+                .iter()
+                .filter(|s| s.expedited == expedited)
+                .map(|s| s.norm_latency)
+                .collect();
+            (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+        };
+        (mean(true), mean(false))
+    }
+}
+
+/// Reenacts `trace` under `protocol` per the paper's §4.3 methodology and
+/// returns the measurements.
+pub fn run_trace(trace: &Trace, protocol: Protocol, cfg: &ExperimentConfig) -> RunMetrics {
+    // §4.2: estimate link loss rates and build the link trace
+    // representation driving the loss injection.
+    let rates = yajnik_rates(trace);
+    let (drops, attribution) = infer_link_drops(trace, &rates);
+    let plan: Vec<(topology::LinkId, SeqNo)> = drops
+        .pairs()
+        .map(|(l, s)| (l, SeqNo(s as u64)))
+        .collect();
+
+    let tree = trace.tree().clone();
+    let router_assist = matches!(protocol, Protocol::Cesrm(c) if c.router_assist);
+    let net = cfg.net.with_router_assist(router_assist);
+    let mut sim = Simulator::new(tree.clone(), net);
+    if cfg.lossy_recovery {
+        sim.set_loss(Box::new(ProbabilisticLoss::new(
+            TraceLoss::new(plan),
+            rates.clone(),
+        )));
+    } else {
+        sim.set_loss(Box::new(TraceLoss::new(plan)));
+    }
+    let log = RecoveryLog::shared();
+    let collector = Rc::new(RefCell::new(TrafficCollector::new()));
+    sim.set_observer(Box::new(Rc::clone(&collector)));
+
+    let source = tree.root();
+    let period = SimDuration::from_millis(trace.meta().period_ms);
+    let source_cfg = SourceConfig {
+        packets: trace.packets() as u64,
+        period,
+        start_at: SimTime::ZERO + cfg.warmup,
+    };
+    match protocol {
+        Protocol::Srm => {
+            let params = SrmParams::paper_default();
+            sim.attach_agent(
+                source,
+                Box::new(SrmAgent::source(source, params, source_cfg, log.clone())),
+            );
+            for &r in tree.receivers() {
+                sim.attach_agent(
+                    r,
+                    Box::new(SrmAgent::receiver(r, source, params, log.clone())),
+                );
+            }
+        }
+        Protocol::Cesrm(ccfg) => {
+            sim.attach_agent(
+                source,
+                Box::new(CesrmAgent::source(source, ccfg, source_cfg, log.clone())),
+            );
+            for &r in tree.receivers() {
+                sim.attach_agent(
+                    r,
+                    Box::new(CesrmAgent::receiver(r, source, ccfg, log.clone())),
+                );
+            }
+        }
+    }
+    let end = SimTime::ZERO + cfg.warmup + period * trace.packets() as u32 + cfg.drain;
+    sim.run_until(end);
+
+    let log = log.borrow();
+    let collector = collector.borrow();
+    let mut nodes = vec![source];
+    nodes.extend_from_slice(tree.receivers());
+    let requests_by_node = nodes
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                collector.sends_by(n, PacketKind::Request),
+                collector.sends_by(n, PacketKind::ExpeditedRequest),
+            )
+        })
+        .collect();
+    let replies_by_node = nodes
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                collector.sends_by(n, PacketKind::Reply),
+                collector.sends_by(n, PacketKind::ExpeditedReply),
+            )
+        })
+        .collect();
+    let samples = log
+        .records()
+        .filter_map(|rec| {
+            let lat = rec.latency()?;
+            let rtt = metrics::rtt_to_source(&tree, &net, rec.receiver);
+            Some(RecoverySample {
+                receiver: rec.receiver,
+                norm_latency: lat.as_secs_f64() / rtt.as_secs_f64(),
+                expedited: rec.expedited,
+            })
+        })
+        .collect();
+    RunMetrics {
+        reports: per_receiver_reports(&log, &tree, &net),
+        requests_by_node,
+        replies_by_node,
+        overhead: collector.overhead(),
+        expedited_requests: collector.total_sends(PacketKind::ExpeditedRequest),
+        expedited_replies: collector.total_sends(PacketKind::ExpeditedReply),
+        unrecovered: log.unrecovered(),
+        losses: log.len(),
+        attribution,
+        samples,
+        expedited_reply_crossings: collector.crossings_any_cast(PacketKind::ExpeditedReply),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::table1;
+
+    fn small_trace() -> Trace {
+        table1()[3].scaled(0.01).generate(5)
+    }
+
+    #[test]
+    fn srm_run_recovers_injected_losses() {
+        let trace = small_trace();
+        let m = run_trace(&trace, Protocol::Srm, &ExperimentConfig::paper_default());
+        assert!(m.losses > 0, "the trace should inject losses");
+        assert_eq!(m.unrecovered, 0, "SRM must recover everything");
+        assert_eq!(m.expedited_requests, 0);
+        assert_eq!(m.expedited_replies, 0);
+        assert!(m.mean_norm_recovery() > 0.5);
+        // The injected loss count matches the trace's loss count: the link
+        // trace representation reproduces the observed loss pattern.
+        assert_eq!(m.losses, trace.total_losses());
+    }
+
+    #[test]
+    fn cesrm_run_recovers_with_expedited_traffic() {
+        let trace = small_trace();
+        let m = run_trace(
+            &trace,
+            Protocol::Cesrm(CesrmConfig::paper_default()),
+            &ExperimentConfig::paper_default(),
+        );
+        assert_eq!(m.unrecovered, 0, "CESRM must recover everything");
+        assert!(m.expedited_requests > 0, "expedited recoveries should run");
+        // The paper's >70 % success rates are for full-size traces; at 1 %
+        // scale the cache barely warms up between loss bursts, so only a
+        // loose lower bound is meaningful here (the full-scale rates are
+        // checked by the reproduction suite; see EXPERIMENTS.md).
+        assert!(m.expedited_success_rate() > 0.25);
+    }
+
+    #[test]
+    fn cesrm_latency_beats_srm_on_trace() {
+        let trace = small_trace();
+        let cfg = ExperimentConfig::paper_default();
+        let srm = run_trace(&trace, Protocol::Srm, &cfg);
+        let cesrm = run_trace(&trace, Protocol::Cesrm(CesrmConfig::paper_default()), &cfg);
+        assert!(
+            cesrm.mean_norm_recovery() < srm.mean_norm_recovery(),
+            "CESRM {:.2} should beat SRM {:.2}",
+            cesrm.mean_norm_recovery(),
+            srm.mean_norm_recovery()
+        );
+    }
+
+    #[test]
+    fn lossy_recovery_mode_still_recovers_most_losses() {
+        let trace = small_trace();
+        let cfg = ExperimentConfig {
+            lossy_recovery: true,
+            drain: SimDuration::from_secs(60),
+            ..ExperimentConfig::paper_default()
+        };
+        let m = run_trace(&trace, Protocol::Cesrm(CesrmConfig::paper_default()), &cfg);
+        // With recovery traffic itself lossy, a small residue may remain
+        // unrecovered within the drain window, but the bulk must recover.
+        assert!(
+            (m.unrecovered as f64) < 0.05 * m.losses as f64,
+            "{} of {} unrecovered",
+            m.unrecovered,
+            m.losses
+        );
+    }
+}

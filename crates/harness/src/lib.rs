@@ -1,0 +1,34 @@
+//! Experiment harness reproducing the evaluation of the CESRM paper
+//! (Livadas & Keidar, DSN 2004, §4).
+//!
+//! The pipeline per trace follows §4.2–§4.3 exactly:
+//!
+//! 1. Synthesize the trace (Table 1 shape and loss counts — the original
+//!    Yajnik et al. MBone data is not retrievable; see `DESIGN.md` §2).
+//! 2. Estimate per-link loss rates from the observed per-receiver loss
+//!    sequences ([`lossmap::yajnik_rates`]).
+//! 3. Attribute every lossy packet to its most probable link combination
+//!    ([`lossmap::infer_link_drops`]) — the *link trace representation*.
+//! 4. Reenact the transmission in the [`netsim`] simulator, injecting
+//!    losses per the link trace representation, once under SRM and once
+//!    under CESRM (most-recent-loss policy, `REORDER-DELAY = 0`,
+//!    lossless recovery by default).
+//! 5. Aggregate per-receiver recovery latencies, packet counts and
+//!    link-crossing overhead into the series of Fig. 1–5 and Table 1.
+//!
+//! [`run_suite`] drives all 14 traces; [`SuiteResult`] renders each table
+//! and figure as paper-style text. The `reproduce` binary ties it together:
+//!
+//! ```text
+//! cargo run --release -p harness --bin reproduce -- --scale 0.1
+//! ```
+
+mod csv;
+mod experiment;
+mod render;
+mod suite;
+mod sweep;
+
+pub use experiment::{run_trace, ExperimentConfig, Protocol, RecoverySample, RunMetrics};
+pub use suite::{run_suite, SuiteConfig, SuiteResult, TracePair};
+pub use sweep::{seed_sweep, Stat, SweepSummary};

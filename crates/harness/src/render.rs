@@ -1,0 +1,343 @@
+//! Paper-style text rendering of every table and figure.
+
+use std::fmt::Write as _;
+
+use crate::{SuiteResult, TracePair};
+
+impl SuiteResult {
+    /// Table 1: the trace inventory, with target (published) and realized
+    /// (synthesized) loss counts.
+    pub fn table1_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Table 1  IP multicast traces (synthetic, scale {:.3})",
+            self.scale
+        );
+        let _ = writeln!(
+            s,
+            "{:>2}  {:<10} {:>5} {:>5} {:>10} {:>12} {:>8} {:>14} {:>16}",
+            "#", "Name", "Rcvrs", "Depth", "Period(ms)", "Duration(s)", "Pkts", "Losses(target)", "Losses(realized)"
+        );
+        for p in &self.pairs {
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {:>5} {:>5} {:>10} {:>12.1} {:>8} {:>14} {:>16}",
+                p.spec.number,
+                p.spec.name,
+                p.spec.receivers,
+                p.spec.depth,
+                p.spec.period_ms,
+                p.spec.duration_secs(),
+                p.spec.packets,
+                p.spec.losses,
+                p.srm.losses,
+            );
+        }
+        s
+    }
+
+    /// The §4.2 link-attribution confidence statistics.
+    pub fn attribution_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Sec 4.2  Loss-pattern attribution confidence");
+        let _ = writeln!(
+            s,
+            "{:>2}  {:<10} {:>10} {:>9} {:>10} {:>8} {:>8}",
+            "#", "Name", "LossyPkts", "Patterns", "MeanPost", ">0.95", ">0.98"
+        );
+        for p in &self.pairs {
+            let a = &p.cesrm.attribution;
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {:>10} {:>9} {:>10.3} {:>7.1}% {:>7.1}%",
+                p.spec.number,
+                p.spec.name,
+                a.lossy_packets,
+                a.distinct_patterns,
+                a.mean_posterior,
+                a.frac_above_95 * 100.0,
+                a.frac_above_98 * 100.0,
+            );
+        }
+        s
+    }
+
+    /// Figure 1: per-receiver average normalized recovery times (in RTTs),
+    /// SRM vs CESRM.
+    pub fn fig1_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 1  Per-receiver average normalized recovery time (RTT units)");
+        for p in &self.pairs {
+            let _ = writeln!(s, "Trace {}:", p.spec.name);
+            let _ = writeln!(s, "  {:>8} {:>8} {:>8}", "Receiver", "SRM", "CESRM");
+            for (i, (srm, cesrm)) in p.srm.reports.iter().zip(&p.cesrm.reports).enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  {:>8} {:>8.2} {:>8.2}",
+                    i + 1,
+                    srm.avg_norm_recovery,
+                    cesrm.avg_norm_recovery
+                );
+            }
+        }
+        s
+    }
+
+    /// Figure 2: per-receiver difference between CESRM's non-expedited and
+    /// expedited average normalized recovery times.
+    pub fn fig2_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 2  RTT difference, non-expedited minus expedited (CESRM)"
+        );
+        for p in &self.pairs {
+            let _ = writeln!(s, "Trace {}:", p.spec.name);
+            let _ = writeln!(s, "  {:>8} {:>10}", "Receiver", "Diff(RTT)");
+            for (i, rep) in p.cesrm.reports.iter().enumerate() {
+                match rep.expedited_gap() {
+                    Some(g) => {
+                        let _ = writeln!(s, "  {:>8} {:>10.2}", i + 1, g);
+                    }
+                    None => {
+                        let _ = writeln!(s, "  {:>8} {:>10}", i + 1, "-");
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Figure 3: per-node request packet counts (receiver 0 is the
+    /// source): SRM multicast, CESRM multicast, CESRM expedited unicast.
+    pub fn fig3_text(&self) -> String {
+        per_node_counts_text(
+            "Figure 3  Request packets sent per node",
+            &self.pairs,
+            |m| &m.requests_by_node,
+            ("SRM(mc)", "CESRM(mc)", "CESRM-EXP(uc)"),
+        )
+    }
+
+    /// Figure 4: per-node reply packet counts: SRM multicast, CESRM
+    /// multicast, CESRM expedited.
+    pub fn fig4_text(&self) -> String {
+        per_node_counts_text(
+            "Figure 4  Reply packets sent per node",
+            &self.pairs,
+            |m| &m.replies_by_node,
+            ("SRM(mc)", "CESRM(mc)", "CESRM-EXP"),
+        )
+    }
+
+    /// Figure 5: expedited success rate per trace (left) and CESRM
+    /// transmission overhead as a percentage of SRM's (right).
+    pub fn fig5_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 5  CESRM performance per trace");
+        let _ = writeln!(
+            s,
+            "{:>2}  {:<10} {:>9} {:>12} {:>12} {:>12}",
+            "#", "Name", "ExpSucc%", "Retrans%", "McastCtrl%", "UcastCtrl%"
+        );
+        for p in &self.pairs {
+            let srm_ctrl = p.srm.overhead.control_total().max(1) as f64;
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {:>8.1} {:>11.1} {:>11.1} {:>11.1}",
+                p.spec.number,
+                p.spec.name,
+                p.cesrm.expedited_success_rate() * 100.0,
+                p.retransmission_overhead_ratio() * 100.0,
+                p.cesrm.overhead.control_multicast as f64 / srm_ctrl * 100.0,
+                p.cesrm.overhead.control_unicast as f64 / srm_ctrl * 100.0,
+            );
+        }
+        s
+    }
+
+    /// Headline comparison across traces (the paper's §4.4/§5 claims).
+    pub fn summary_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Summary  CESRM vs SRM across traces");
+        let _ = writeln!(
+            s,
+            "{:>2}  {:<10} {:>9} {:>9} {:>10} {:>9} {:>10} {:>10}",
+            "#", "Name", "SRM(RTT)", "CES(RTT)", "Reduction", "ExpSucc%", "Retrans%", "Ctrl%"
+        );
+        for p in &self.pairs {
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {:>9.2} {:>9.2} {:>9.1}% {:>8.1}% {:>9.1}% {:>9.1}%",
+                p.spec.number,
+                p.spec.name,
+                p.srm.mean_norm_recovery(),
+                p.cesrm.mean_norm_recovery(),
+                (1.0 - p.latency_ratio()) * 100.0,
+                p.cesrm.expedited_success_rate() * 100.0,
+                p.retransmission_overhead_ratio() * 100.0,
+                p.control_overhead_ratio() * 100.0,
+            );
+        }
+        let n = self.pairs.len().max(1) as f64;
+        let mean_reduction: f64 = self
+            .pairs
+            .iter()
+            .map(|p| (1.0 - p.latency_ratio()) * 100.0)
+            .sum::<f64>()
+            / n;
+        let _ = writeln!(s, "mean latency reduction: {mean_reduction:.1}%");
+        s
+    }
+
+    /// Recovery-latency distributions: per-trace percentiles (in RTT
+    /// units) for both protocols, split by recovery scheme — the
+    /// distributional view behind Fig. 1/2's means.
+    pub fn latency_distribution_text(&self) -> String {
+        use metrics::LatencyHistogram;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Recovery latency percentiles (RTT units): p50 / p90 / p99"
+        );
+        let _ = writeln!(
+            s,
+            "{:>2}  {:<10} {:>22} {:>22} {:>22}",
+            "#", "Name", "SRM", "CESRM (expedited)", "CESRM (fallback)"
+        );
+        let fmt3 = |h: &mut LatencyHistogram| -> String {
+            match h.percentiles() {
+                Some((p50, p90, p99, _)) => format!("{p50:>6.2} {p90:>6.2} {p99:>6.2}"),
+                None => format!("{:>6} {:>6} {:>6}", "-", "-", "-"),
+            }
+        };
+        for p in &self.pairs {
+            let mut srm: LatencyHistogram =
+                p.srm.samples.iter().map(|x| x.norm_latency).collect();
+            let mut exp: LatencyHistogram = p
+                .cesrm
+                .samples
+                .iter()
+                .filter(|x| x.expedited)
+                .map(|x| x.norm_latency)
+                .collect();
+            let mut fall: LatencyHistogram = p
+                .cesrm
+                .samples
+                .iter()
+                .filter(|x| !x.expedited)
+                .map(|x| x.norm_latency)
+                .collect();
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {:>22} {:>22} {:>22}",
+                p.spec.number,
+                p.spec.name,
+                fmt3(&mut srm),
+                fmt3(&mut exp),
+                fmt3(&mut fall),
+            );
+        }
+        s
+    }
+
+    /// Figure 1 as an ASCII bar chart (the paper's visual): per receiver,
+    /// SRM and CESRM average normalized recovery times side by side.
+    pub fn fig1_chart(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 1 (chart)  avg normalized recovery time, one row pair per receiver");
+        let scale = 3.5f64; // the paper's y-axis tops out at 3.5 RTT
+        let width = 40usize;
+        let bar = |v: f64| -> String {
+            let n = ((v / scale) * width as f64).round() as usize;
+            "#".repeat(n.min(width))
+        };
+        for p in &self.pairs {
+            let _ = writeln!(s, "Trace {}:", p.spec.name);
+            for (i, (srm, cesrm)) in p.srm.reports.iter().zip(&p.cesrm.reports).enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  r{:<2} SRM   {:<width$} {:>5.2}",
+                    i + 1,
+                    bar(srm.avg_norm_recovery),
+                    srm.avg_norm_recovery,
+                );
+                let _ = writeln!(
+                    s,
+                    "      CESRM {:<width$} {:>5.2}",
+                    bar(cesrm.avg_norm_recovery),
+                    cesrm.avg_norm_recovery,
+                );
+            }
+        }
+        s
+    }
+
+    /// Loss-locality statistics of the synthesized traces.
+    pub fn locality_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Trace loss locality (synthetic)");
+        for p in &self.pairs {
+            let _ = writeln!(s, "{:>2}  {:<10} {}", p.spec.number, p.spec.name, p.trace_stats);
+        }
+        s
+    }
+}
+
+fn per_node_counts_text(
+    title: &str,
+    pairs: &[TracePair],
+    select: impl Fn(&crate::RunMetrics) -> &Vec<(topology::NodeId, u64, u64)>,
+    headers: (&str, &str, &str),
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title} (node 0 is the source)");
+    for p in pairs {
+        let _ = writeln!(s, "Trace {}:", p.spec.name);
+        let _ = writeln!(
+            s,
+            "  {:>5} {:>10} {:>10} {:>14}",
+            "Node", headers.0, headers.1, headers.2
+        );
+        let srm_counts = select(&p.srm);
+        let cesrm_counts = select(&p.cesrm);
+        for (i, (srm, cesrm)) in srm_counts.iter().zip(cesrm_counts).enumerate() {
+            let _ = writeln!(
+                s,
+                "  {:>5} {:>10} {:>10} {:>14}",
+                i, srm.1, cesrm.1, cesrm.2
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_suite, SuiteConfig};
+
+    #[test]
+    fn all_renderings_are_nonempty_and_structured() {
+        let mut cfg = SuiteConfig::quick(0.01);
+        cfg.traces = Some(vec![4]);
+        let r = run_suite(&cfg);
+        let t1 = r.table1_text();
+        assert!(t1.contains("WRN950919"));
+        assert!(r.attribution_text().contains("MeanPost"));
+        let f1 = r.fig1_text();
+        assert!(f1.contains("SRM") && f1.contains("CESRM"));
+        assert!(r.fig2_text().contains("Diff(RTT)"));
+        assert!(r.fig3_text().contains("CESRM-EXP"));
+        assert!(r.fig4_text().contains("Reply packets"));
+        let f5 = r.fig5_text();
+        assert!(f5.contains("ExpSucc%") && f5.contains("Retrans%"));
+        assert!(r.summary_text().contains("mean latency reduction"));
+        assert!(r.locality_text().contains("loss rate"));
+        let dist = r.latency_distribution_text();
+        assert!(dist.contains("p50 / p90 / p99"));
+        assert!(dist.contains("WRN950919"));
+        let chart = r.fig1_chart();
+        assert!(chart.contains("SRM") && chart.contains('#'));
+    }
+}

@@ -1,0 +1,194 @@
+use cesrm::CesrmConfig;
+use netsim::SimDuration;
+use traces::{table1, LossStats, TraceSpec};
+
+use crate::{run_trace, ExperimentConfig, Protocol, RunMetrics};
+
+/// Configuration of a full evaluation-suite run over the Table-1 traces.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SuiteConfig {
+    /// Base seed for trace synthesis.
+    pub seed: u64,
+    /// Trace scale factor in `(0, 1]`: 1.0 reenacts the full Table-1 packet
+    /// counts (minutes of CPU); smaller values shrink packets and losses
+    /// proportionally for quick runs.
+    pub scale: f64,
+    /// Which Table-1 trace numbers (1-based) to run; `None` runs all 14.
+    pub traces: Option<Vec<usize>>,
+    /// Per-run simulation settings.
+    pub experiment: ExperimentConfig,
+    /// CESRM configuration (the paper default unless ablating).
+    pub cesrm: CesrmConfig,
+}
+
+impl SuiteConfig {
+    /// Full-fidelity paper configuration.
+    pub fn paper_default() -> Self {
+        SuiteConfig {
+            seed: 20040628, // DSN 2004 opening day
+            scale: 1.0,
+            traces: None,
+            experiment: ExperimentConfig::paper_default(),
+            cesrm: CesrmConfig::paper_default(),
+        }
+    }
+
+    /// A scaled-down suite for tests and benches.
+    pub fn quick(scale: f64) -> Self {
+        SuiteConfig {
+            scale,
+            ..SuiteConfig::paper_default()
+        }
+    }
+
+    /// The paper's link-delay sweep variant (10, 20 or 30 ms).
+    pub fn with_link_delay_ms(mut self, ms: u64) -> Self {
+        self.experiment.net.link_delay = SimDuration::from_millis(ms);
+        self
+    }
+}
+
+/// One trace reenacted under both protocols.
+#[derive(Clone, Debug)]
+pub struct TracePair {
+    /// The (possibly scaled) Table-1 specification.
+    pub spec: TraceSpec,
+    /// Loss-locality statistics of the synthesized trace.
+    pub trace_stats: LossStats,
+    /// The SRM baseline measurements.
+    pub srm: RunMetrics,
+    /// The CESRM measurements.
+    pub cesrm: RunMetrics,
+}
+
+impl TracePair {
+    /// CESRM's mean normalized recovery latency as a fraction of SRM's —
+    /// the paper reports 0.3–0.6 (i.e. a 40–70 % reduction).
+    pub fn latency_ratio(&self) -> f64 {
+        let s = self.srm.mean_norm_recovery();
+        if s == 0.0 {
+            return 1.0;
+        }
+        self.cesrm.mean_norm_recovery() / s
+    }
+
+    /// CESRM retransmission overhead as a fraction of SRM's (Fig. 5 right;
+    /// the paper reports below 0.8 everywhere, below 0.6 for 10 traces).
+    pub fn retransmission_overhead_ratio(&self) -> f64 {
+        let s = self.srm.overhead.retransmissions;
+        if s == 0 {
+            return 1.0;
+        }
+        self.cesrm.overhead.retransmissions as f64 / s as f64
+    }
+
+    /// CESRM control overhead (multicast + unicast requests) as a fraction
+    /// of SRM's control overhead.
+    pub fn control_overhead_ratio(&self) -> f64 {
+        let s = self.srm.overhead.control_total();
+        if s == 0 {
+            return 1.0;
+        }
+        self.cesrm.overhead.control_total() as f64 / s as f64
+    }
+}
+
+/// The full evaluation suite: every requested trace under SRM and CESRM.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Scale factor the suite ran at.
+    pub scale: f64,
+    /// Per-trace results, in Table-1 order.
+    pub pairs: Vec<TracePair>,
+}
+
+/// Runs the evaluation suite per `cfg`.
+pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
+    assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must lie in (0, 1]");
+    let mut pairs = Vec::new();
+    for spec in table1() {
+        if let Some(only) = &cfg.traces {
+            if !only.contains(&spec.number) {
+                continue;
+            }
+        }
+        let spec = if cfg.scale < 1.0 {
+            spec.scaled(cfg.scale)
+        } else {
+            spec
+        };
+        let (trace, truth) = spec.generate_with_truth(cfg.seed);
+        let trace_stats = LossStats::from_trace(&trace, Some(&truth));
+        let srm = run_trace(&trace, Protocol::Srm, &cfg.experiment);
+        let cesrm = run_trace(&trace, Protocol::Cesrm(cfg.cesrm), &cfg.experiment);
+        pairs.push(TracePair {
+            spec,
+            trace_stats,
+            srm,
+            cesrm,
+        });
+    }
+    SuiteResult {
+        scale: cfg.scale,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> SuiteResult {
+        let mut cfg = SuiteConfig::quick(0.01);
+        cfg.traces = Some(vec![4, 13]);
+        run_suite(&cfg)
+    }
+
+    #[test]
+    fn suite_runs_selected_traces() {
+        let r = tiny_suite();
+        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.pairs[0].spec.number, 4);
+        assert_eq!(r.pairs[1].spec.number, 13);
+        for p in &r.pairs {
+            assert_eq!(p.srm.unrecovered, 0);
+            assert_eq!(p.cesrm.unrecovered, 0);
+            assert!(p.srm.losses > 0);
+            // Identical loss injection, but CESRM may *detect* slightly
+            // fewer losses: an expedited repair sometimes lands before the
+            // receiver notices the gap.
+            assert!(
+                p.cesrm.losses <= p.srm.losses
+                    && p.cesrm.losses as f64 >= 0.9 * p.srm.losses as f64,
+                "loss counts diverged: SRM {} vs CESRM {}",
+                p.srm.losses,
+                p.cesrm.losses
+            );
+        }
+    }
+
+    #[test]
+    fn cesrm_improves_latency_and_overhead_on_tiny_suite() {
+        let r = tiny_suite();
+        for p in &r.pairs {
+            assert!(
+                p.latency_ratio() < 0.9,
+                "trace {}: latency ratio {:.2}",
+                p.spec.name,
+                p.latency_ratio()
+            );
+            assert!(
+                p.retransmission_overhead_ratio() <= 1.05,
+                "trace {}: retrans ratio {:.2}",
+                p.spec.name,
+                p.retransmission_overhead_ratio()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must lie in (0, 1]")]
+    fn bad_scale_rejected() {
+        run_suite(&SuiteConfig::quick(0.0));
+    }
+}

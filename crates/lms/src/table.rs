@@ -1,0 +1,178 @@
+use topology::{MulticastTree, NodeId, NodeKind};
+
+/// The per-router designated-replier state LMS keeps in the routers.
+///
+/// Every interior node (router) designates one receiver in its subtree as
+/// the replier for requests arriving from its *other* branches. The root's
+/// replier is the source itself.
+///
+/// # Examples
+///
+/// ```
+/// use lms::ReplierTable;
+/// use topology::TreeBuilder;
+///
+/// # fn main() -> Result<(), topology::TreeError> {
+/// let mut b = TreeBuilder::new();
+/// let router = b.add_router(b.root());
+/// let near = b.add_receiver(router);
+/// let far = b.add_receiver(router);
+/// let tree = b.build()?;
+/// let table = ReplierTable::closest_receiver(&tree);
+/// // `far`'s requests redirect at the router to the designated `near`.
+/// assert_eq!(table.route(&tree, far), (near, router));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplierTable {
+    /// Designated replier per node index (routers and the root; receiver
+    /// entries stay `None`).
+    replier: Vec<Option<NodeId>>,
+}
+
+impl ReplierTable {
+    /// Designates, for every router, the receiver in its subtree closest to
+    /// it (ties towards the smallest node id) — the natural LMS choice.
+    /// The root designates the source.
+    pub fn closest_receiver(tree: &MulticastTree) -> Self {
+        let mut replier = vec![None; tree.len()];
+        for n in tree.nodes() {
+            match tree.kind(n) {
+                NodeKind::Source => replier[n.index()] = Some(n),
+                NodeKind::Router => {
+                    let best = tree
+                        .receivers_below(n)
+                        .iter()
+                        .copied()
+                        .min_by_key(|&r| (tree.hop_distance(n, r), r))
+                        .expect("validated trees have receivers below every router");
+                    replier[n.index()] = Some(best);
+                }
+                NodeKind::Receiver => {}
+            }
+        }
+        ReplierTable { replier }
+    }
+
+    /// The designated replier of `router`, if it is an interior node or the
+    /// root.
+    pub fn replier_of(&self, router: NodeId) -> Option<NodeId> {
+        self.replier[router.index()]
+    }
+
+    /// Re-designates `router`'s replier (e.g. after a membership refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` has no replier entry (i.e. is a receiver).
+    pub fn set_replier(&mut self, router: NodeId, replier: NodeId) {
+        assert!(
+            self.replier[router.index()].is_some(),
+            "{router} holds no replier state"
+        );
+        self.replier[router.index()] = Some(replier);
+    }
+
+    /// Routes a request that entered the upstream path at `came_from`
+    /// (initially the requesting host): walks up the ancestor chain and
+    /// returns `(replier, turning_point)` for the first router whose
+    /// designated replier lies outside the branch the request arrived
+    /// from. Falls back to `(source, root)` — the source always answers.
+    pub fn route(&self, tree: &MulticastTree, came_from: NodeId) -> (NodeId, NodeId) {
+        let mut branch = came_from;
+        let mut cur = tree.parent(came_from);
+        while let Some(router) = cur {
+            if let Some(rep) = self.replier_of(router) {
+                if !tree.is_ancestor_or_self(branch, rep) {
+                    return (rep, router);
+                }
+            }
+            branch = router;
+            cur = tree.parent(router);
+        }
+        (tree.root(), tree.root())
+    }
+
+    /// Escalates a request past `turning_point` (its replier shared the
+    /// loss): continues the upward walk from that router.
+    pub fn escalate(&self, tree: &MulticastTree, turning_point: NodeId) -> (NodeId, NodeId) {
+        self.route(tree, turning_point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::TreeBuilder;
+
+    /// n0 (source) -> n1 -> { n2, n3 -> { n4, n5 } }, n0 -> n6.
+    fn tree() -> MulticastTree {
+        let mut b = TreeBuilder::new();
+        let r1 = b.add_router(b.root());
+        b.add_receiver(r1);
+        let r3 = b.add_router(r1);
+        b.add_receiver(r3);
+        b.add_receiver(r3);
+        b.add_receiver(b.root());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closest_receiver_designation() {
+        let t = tree();
+        let table = ReplierTable::closest_receiver(&t);
+        // n1's subtree receivers: n2 (1 hop), n4/n5 (2 hops) → n2.
+        assert_eq!(table.replier_of(NodeId(1)), Some(NodeId(2)));
+        // n3's subtree: n4 and n5, both 1 hop → smallest id n4.
+        assert_eq!(table.replier_of(NodeId(3)), Some(NodeId(4)));
+        // Root designates the source.
+        assert_eq!(table.replier_of(NodeId(0)), Some(NodeId(0)));
+        // Receivers hold no state.
+        assert_eq!(table.replier_of(NodeId(2)), None);
+    }
+
+    #[test]
+    fn route_redirects_at_first_foreign_replier() {
+        let t = tree();
+        let table = ReplierTable::closest_receiver(&t);
+        // n5's request: parent n3's replier is n4, outside n5's branch →
+        // redirect at n3 to n4.
+        assert_eq!(table.route(&t, NodeId(5)), (NodeId(4), NodeId(3)));
+        // n4's own request: n3's replier n4 is in n4's branch (it *is*
+        // n4) → climb; n1's replier n2 is foreign → (n2, n1).
+        assert_eq!(table.route(&t, NodeId(4)), (NodeId(2), NodeId(1)));
+        // n2's request: n1's replier n2 is its own branch → climb to root →
+        // the source answers.
+        assert_eq!(table.route(&t, NodeId(2)), (NodeId(0), NodeId(0)));
+        // n6 hangs off the root directly: source answers.
+        assert_eq!(table.route(&t, NodeId(6)), (NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn escalation_climbs_past_shared_losses() {
+        let t = tree();
+        let table = ReplierTable::closest_receiver(&t);
+        // n5 → (n4 via n3); if n4 shared the loss, escalate from n3:
+        // n1's replier n2 is outside n3's branch → (n2, n1).
+        assert_eq!(table.escalate(&t, NodeId(3)), (NodeId(2), NodeId(1)));
+        // If n2 shared it too, escalate from n1 → source.
+        assert_eq!(table.escalate(&t, NodeId(1)), (NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn set_replier_redesignates() {
+        let t = tree();
+        let mut table = ReplierTable::closest_receiver(&t);
+        table.set_replier(NodeId(3), NodeId(5));
+        assert_eq!(table.route(&t, NodeId(4)), (NodeId(5), NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no replier state")]
+    fn set_replier_on_receiver_rejected() {
+        let t = tree();
+        let mut table = ReplierTable::closest_receiver(&t);
+        table.set_replier(NodeId(2), NodeId(4));
+    }
+}

@@ -1,0 +1,360 @@
+use std::collections::HashMap;
+
+use topology::{LinkId, MulticastTree, NodeId};
+
+/// The explanation selected for one observed loss pattern: a set of dropped
+/// links (an antichain — no chosen link sits below another), its occurrence
+/// probability `p(c)`, and its posterior probability `p_Cx(c)` among all
+/// combinations producing the same pattern (§4.2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Attribution {
+    /// The selected link combination, in increasing link order.
+    pub links: Vec<LinkId>,
+    /// `p(c) = Π_{l∈c} p(l) · Π_{l'∈U} (1 − p(l'))`.
+    pub prob: f64,
+    /// `p_Cx(c) = p(c) / Σ_{c'∈Cx} p(c')` — exact, computed by the same
+    /// dynamic program that finds the maximum.
+    pub posterior: f64,
+}
+
+/// Maps observed loss patterns to their most probable link combinations.
+///
+/// The paper enumerates candidate combinations; this implementation instead
+/// runs a dynamic program over the tree that simultaneously computes the
+/// max-probability combination and the total probability of *all*
+/// combinations, in `O(nodes)` per distinct pattern. Results are memoized
+/// per pattern, which matters because bursty traces repeat patterns heavily.
+pub struct Attributor<'t> {
+    tree: &'t MulticastTree,
+    /// Per-link drop probability (indexed by link head), clamped away from
+    /// 0 and 1 so every observed pattern has a positive-probability
+    /// explanation even under imperfect rate estimates.
+    rates: Vec<f64>,
+    cache: HashMap<u64, Attribution>,
+}
+
+/// Intermediate per-subtree solution.
+struct NodeSol {
+    /// Total probability over all explanations of this subtree's pattern
+    /// (including the link into the subtree root).
+    sum: f64,
+    /// Probability of the best explanation.
+    best: f64,
+    /// Links chosen by the best explanation.
+    links: Vec<LinkId>,
+    /// Every receiver below lost the packet.
+    all_lost: bool,
+    /// At least one receiver below lost the packet.
+    any_lost: bool,
+}
+
+impl<'t> Attributor<'t> {
+    /// Creates an attributor for `tree` with estimated per-link loss
+    /// `rates` (indexed by link head node, as produced by
+    /// [`yajnik_rates`](crate::yajnik_rates) / [`mle_rates`](crate::mle_rates)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != tree.len()` or the tree has more than 64
+    /// receivers (patterns are memoized as 64-bit masks).
+    pub fn new(tree: &'t MulticastTree, rates: &[f64]) -> Self {
+        assert_eq!(rates.len(), tree.len(), "one rate per node required");
+        assert!(
+            tree.receivers().len() <= 64,
+            "at most 64 receivers supported"
+        );
+        let rates = rates
+            .iter()
+            .map(|p| p.clamp(1e-6, 1.0 - 1e-6))
+            .collect();
+        Attributor {
+            tree,
+            rates,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Attributes the loss pattern given as the set of receivers that lost
+    /// the packet. An empty pattern yields the empty combination with
+    /// posterior 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` contains a node that is not a receiver.
+    pub fn attribute(&mut self, pattern: &[NodeId]) -> Attribution {
+        let mask = self.pattern_mask(pattern);
+        if let Some(hit) = self.cache.get(&mask) {
+            return hit.clone();
+        }
+        let mut lost = vec![false; self.tree.len()];
+        for &r in pattern {
+            assert!(self.tree.is_receiver(r), "{r} is not a receiver");
+            lost[r.index()] = true;
+        }
+        let root = self.tree.root();
+        let mut sum = 1.0;
+        let mut best = 1.0;
+        let mut links = Vec::new();
+        for &c in self.tree.children(root) {
+            let sol = self.solve(c, &lost);
+            sum *= sol.sum;
+            best *= sol.best;
+            links.extend(sol.links);
+        }
+        links.sort_unstable();
+        let attribution = Attribution {
+            links,
+            prob: best,
+            posterior: if sum > 0.0 { best / sum } else { 0.0 },
+        };
+        self.cache.insert(mask, attribution.clone());
+        attribution
+    }
+
+    /// Number of distinct patterns attributed so far.
+    pub fn distinct_patterns(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn pattern_mask(&self, pattern: &[NodeId]) -> u64 {
+        let mut mask = 0u64;
+        for &r in pattern {
+            let pos = self
+                .tree
+                .receivers()
+                .binary_search(&r)
+                .unwrap_or_else(|_| panic!("{r} is not a receiver"));
+            mask |= 1 << pos;
+        }
+        mask
+    }
+
+    fn solve(&self, n: NodeId, lost: &[bool]) -> NodeSol {
+        let p = self.rates[n.index()];
+        if self.tree.is_receiver(n) {
+            return if lost[n.index()] {
+                NodeSol {
+                    sum: p,
+                    best: p,
+                    links: vec![LinkId(n)],
+                    all_lost: true,
+                    any_lost: true,
+                }
+            } else {
+                NodeSol {
+                    sum: 1.0 - p,
+                    best: 1.0 - p,
+                    links: Vec::new(),
+                    all_lost: false,
+                    any_lost: false,
+                }
+            };
+        }
+        let mut sum_prod = 1.0;
+        let mut best_prod = 1.0;
+        let mut links = Vec::new();
+        let mut all_lost = true;
+        let mut any_lost = false;
+        for &c in self.tree.children(n) {
+            let sol = self.solve(c, lost);
+            sum_prod *= sol.sum;
+            best_prod *= sol.best;
+            links.extend(sol.links);
+            all_lost &= sol.all_lost;
+            any_lost |= sol.any_lost;
+        }
+        if all_lost && any_lost {
+            // The whole subtree lost the packet: either this link dropped it
+            // (downstream links unconstrained) or it passed and the children
+            // explain the losses.
+            let pass_best = (1.0 - p) * best_prod;
+            if p >= pass_best {
+                NodeSol {
+                    sum: p + (1.0 - p) * sum_prod,
+                    best: p,
+                    links: vec![LinkId(n)],
+                    all_lost,
+                    any_lost,
+                }
+            } else {
+                NodeSol {
+                    sum: p + (1.0 - p) * sum_prod,
+                    best: pass_best,
+                    links,
+                    all_lost,
+                    any_lost,
+                }
+            }
+        } else {
+            // Someone below received the packet, so this link passed it.
+            NodeSol {
+                sum: (1.0 - p) * sum_prod,
+                best: (1.0 - p) * best_prod,
+                links,
+                all_lost,
+                any_lost,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::TreeBuilder;
+
+    /// n0 -> n1(router) -> {n2, n3}; n0 -> n4.
+    fn tree() -> MulticastTree {
+        let mut b = TreeBuilder::new();
+        let r = b.add_router(b.root());
+        b.add_receiver(r);
+        b.add_receiver(r);
+        b.add_receiver(b.root());
+        b.build().unwrap()
+    }
+
+    /// Brute force over all link subsets for validation on tiny trees:
+    /// probability of each *antichain* combination producing the pattern.
+    fn brute_force(tree: &MulticastTree, rates: &[f64], pattern: &[NodeId]) -> (f64, f64) {
+        let links: Vec<LinkId> = tree.links().collect();
+        let lost: std::collections::HashSet<NodeId> = pattern.iter().copied().collect();
+        let mut total = 0.0;
+        let mut best = 0.0;
+        for mask in 0..(1u32 << links.len()) {
+            let combo: Vec<LinkId> = links
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &l)| l)
+                .collect();
+            // Antichain check: no chosen link strictly below another.
+            let antichain = combo.iter().all(|&a| {
+                combo
+                    .iter()
+                    .all(|&b| a == b || !tree.is_ancestor_or_self(b.head(), a.head()) || a.head() == b.head())
+            });
+            if !antichain {
+                continue;
+            }
+            // Pattern produced: receiver lost iff below some chosen link.
+            let produced: std::collections::HashSet<NodeId> = tree
+                .receivers()
+                .iter()
+                .copied()
+                .filter(|&r| {
+                    combo
+                        .iter()
+                        .any(|&l| tree.is_ancestor_or_self(l.head(), r))
+                })
+                .collect();
+            if produced != lost {
+                continue;
+            }
+            // U: links neither chosen nor downstream of a chosen link.
+            let mut prob = 1.0;
+            for &l in &links {
+                if combo.contains(&l) {
+                    prob *= rates[l.index()];
+                } else if !combo
+                    .iter()
+                    .any(|&c| tree.is_ancestor_or_self(c.head(), l.head()))
+                {
+                    prob *= 1.0 - rates[l.index()];
+                }
+            }
+            total += prob;
+            if prob > best {
+                best = prob;
+            }
+        }
+        (total, best)
+    }
+
+    #[test]
+    fn matches_brute_force_on_all_patterns() {
+        let t = tree();
+        let rates = vec![0.0, 0.1, 0.2, 0.05, 0.3];
+        let mut attr = Attributor::new(&t, &rates);
+        let receivers = t.receivers().to_vec();
+        for mask in 0..(1u32 << receivers.len()) {
+            let pattern: Vec<NodeId> = receivers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &r)| r)
+                .collect();
+            let a = attr.attribute(&pattern);
+            let (total, best) = brute_force(&t, &rates, &pattern);
+            assert!(
+                (a.prob - best).abs() < 1e-9,
+                "best mismatch for pattern {pattern:?}: {} vs {best}",
+                a.prob
+            );
+            assert!(
+                (a.posterior - best / total).abs() < 1e-9,
+                "posterior mismatch for pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_receiver_loss_attributed_to_its_link() {
+        let t = tree();
+        let rates = vec![0.0, 0.1, 0.2, 0.05, 0.3];
+        let mut attr = Attributor::new(&t, &rates);
+        let a = attr.attribute(&[NodeId(2)]);
+        assert_eq!(a.links, vec![LinkId(NodeId(2))]);
+        assert!(a.posterior > 0.99, "posterior {}", a.posterior);
+    }
+
+    #[test]
+    fn shared_loss_attributed_to_shared_link() {
+        let t = tree();
+        // Shared link into n1 is lossy; leaf links nearly lossless.
+        let rates = vec![0.0, 0.2, 0.01, 0.01, 0.01];
+        let mut attr = Attributor::new(&t, &rates);
+        let a = attr.attribute(&[NodeId(2), NodeId(3)]);
+        assert_eq!(a.links, vec![LinkId(NodeId(1))]);
+        assert!(a.posterior > 0.9);
+    }
+
+    #[test]
+    fn independent_losses_attributed_to_leaf_links() {
+        let t = tree();
+        // Shared link nearly lossless: simultaneous leaf losses more likely.
+        let rates = vec![0.0, 0.0001, 0.3, 0.3, 0.01];
+        let mut attr = Attributor::new(&t, &rates);
+        let a = attr.attribute(&[NodeId(2), NodeId(3)]);
+        assert_eq!(a.links, vec![LinkId(NodeId(2)), LinkId(NodeId(3))]);
+    }
+
+    #[test]
+    fn empty_pattern_has_unit_posterior() {
+        let t = tree();
+        let rates = vec![0.0, 0.1, 0.2, 0.05, 0.3];
+        let mut attr = Attributor::new(&t, &rates);
+        let a = attr.attribute(&[]);
+        assert!(a.links.is_empty());
+        assert!((a.posterior - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_are_memoized() {
+        let t = tree();
+        let rates = vec![0.0, 0.1, 0.2, 0.05, 0.3];
+        let mut attr = Attributor::new(&t, &rates);
+        attr.attribute(&[NodeId(2)]);
+        attr.attribute(&[NodeId(2)]);
+        attr.attribute(&[NodeId(3)]);
+        assert_eq!(attr.distinct_patterns(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a receiver")]
+    fn non_receiver_pattern_rejected() {
+        let t = tree();
+        let rates = vec![0.0; 5];
+        let mut attr = Attributor::new(&t, &rates);
+        attr.attribute(&[NodeId(1)]);
+    }
+}

@@ -1,0 +1,313 @@
+use topology::NodeId;
+use traces::{BitSeq, Trace};
+
+/// Per-node "shared loss" sets: `A[n]` holds the packets lost by *every*
+/// receiver in the subtree of `n` (for a receiver, its own loss sequence).
+/// Losing a packet at or above `n` implies membership in `A[n]`.
+fn shared_loss_sets(trace: &Trace) -> Vec<BitSeq> {
+    let tree = trace.tree();
+    let k = trace.packets();
+    let mut sets: Vec<Option<BitSeq>> = vec![None; tree.len()];
+    // Children have larger indices than parents (builder invariant), so a
+    // reverse index sweep is a valid post-order.
+    for idx in (0..tree.len()).rev() {
+        let node = NodeId(idx as u32);
+        if tree.is_receiver(node) {
+            sets[idx] = Some(trace.loss_seq(node).clone());
+        } else {
+            let mut acc: Option<BitSeq> = None;
+            for &c in tree.children(node) {
+                let child = sets[c.index()].as_ref().expect("post-order");
+                acc = Some(match acc {
+                    None => child.clone(),
+                    Some(a) => a.and(child),
+                });
+            }
+            sets[idx] = acc.or_else(|| Some(BitSeq::new(k)));
+        }
+    }
+    sets.into_iter().map(|s| s.expect("all nodes visited")).collect()
+}
+
+/// Link loss-rate estimation by the subtree-intersection method of Yajnik
+/// et al. \[15\].
+///
+/// A packet is attributed to the link into `n` when every receiver below `n`
+/// lost it but not every receiver below `n`'s parent did (so the packet
+/// demonstrably reached the parent). The rate of the link into `n` is that
+/// count divided by the number of packets estimated to have reached the
+/// parent. Returns rates indexed by link head node (entry 0, the root, is
+/// 0.0).
+///
+/// The estimate is slightly biased upward for a link whose sibling subtrees
+/// happen to lose the same packet simultaneously — the same approximation
+/// the original method makes.
+///
+/// # Examples
+///
+/// ```
+/// use lossmap::yajnik_rates;
+/// use traces::{generate, GeneratorConfig};
+///
+/// let (trace, _truth) = generate(&GeneratorConfig::small(1));
+/// let rates = yajnik_rates(&trace);
+/// assert_eq!(rates.len(), trace.tree().len());
+/// assert!(rates.iter().all(|p| (0.0..=1.0).contains(p)));
+/// ```
+pub fn yajnik_rates(trace: &Trace) -> Vec<f64> {
+    let tree = trace.tree();
+    let k = trace.packets() as f64;
+    let shared = shared_loss_sets(trace);
+    let mut rates = vec![0.0; tree.len()];
+    for link in tree.links() {
+        let n = link.head();
+        let parent = tree.parent(n).expect("link head has a parent");
+        // The source always has the packet, so nothing is "lost at or above"
+        // the root: a parent-is-root link absorbs all of its subtree-wide
+        // losses.
+        let (lost_here, reached_parent) = if parent == tree.root() {
+            (shared[n.index()].count_ones(), k)
+        } else {
+            let diff = shared[n.index()].and_not(&shared[parent.index()]);
+            (
+                diff.count_ones(),
+                k - shared[parent.index()].count_ones() as f64,
+            )
+        };
+        rates[n.index()] = if reached_parent > 0.0 {
+            (lost_here as f64 / reached_parent).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+    rates
+}
+
+/// Link loss-rate estimation by the maximum-likelihood (MINC) estimator of
+/// Cáceres et al. \[2\], generalized to arbitrary trees.
+///
+/// For each node `n`, let `γ_n` be the fraction of packets seen by at least
+/// one receiver below `n` and `α_n` the probability that a packet reaches
+/// `n`. MINC solves, at every node with two or more children,
+///
+/// ```text
+/// 1 - γ_n/α_n = Π_children c (1 - γ_c/α_n)
+/// ```
+///
+/// for `α_n`, and derives each link's loss rate as `1 - α_n/α_parent`.
+///
+/// Chains of single-child routers are not identifiable (only the product of
+/// their link success rates is observable); the combined loss is attributed
+/// to the *lowest* link of the chain and the links above it are reported
+/// lossless, which preserves every receiver's end-to-end loss rate.
+pub fn mle_rates(trace: &Trace) -> Vec<f64> {
+    let tree = trace.tree();
+    let k = trace.packets() as f64;
+    let shared = shared_loss_sets(trace);
+    // γ_n: fraction of packets seen by someone below n.
+    let gamma: Vec<f64> = shared
+        .iter()
+        .map(|s| (k - s.count_ones() as f64) / k)
+        .collect();
+    // α is solvable at the root (=1), at leaves (γ itself) and at nodes
+    // with ≥ 2 children.
+    let mut alpha: Vec<Option<f64>> = vec![None; tree.len()];
+    alpha[0] = Some(1.0);
+    for node in tree.nodes().skip(1) {
+        let idx = node.index();
+        if tree.is_receiver(node) {
+            alpha[idx] = Some(gamma[idx]);
+        } else if tree.children(node).len() >= 2 {
+            alpha[idx] = Some(solve_alpha(
+                gamma[idx],
+                &tree.children(node)
+                    .iter()
+                    .map(|c| gamma[c.index()])
+                    .collect::<Vec<_>>(),
+            ));
+        }
+    }
+    // Per-link rates: for each node with known α, charge the loss since the
+    // nearest known ancestor to the last link of the connecting chain.
+    let mut rates = vec![0.0; tree.len()];
+    for node in tree.nodes().skip(1) {
+        let idx = node.index();
+        let Some(a_n) = alpha[idx] else { continue };
+        let mut anc = tree.parent(node).expect("non-root");
+        while alpha[anc.index()].is_none() {
+            anc = tree.parent(anc).expect("root alpha is known");
+        }
+        let a_m = alpha[anc.index()].expect("loop exited on known alpha");
+        let success = if a_m > 0.0 { (a_n / a_m).min(1.0) } else { 1.0 };
+        rates[idx] = (1.0 - success).clamp(0.0, 1.0);
+    }
+    rates
+}
+
+/// Solves the MINC fixed-point `1 - γ/α = Π (1 - γ_c/α)` for `α` by
+/// bisection on `[max(γ, max γ_c), 1]`.
+fn solve_alpha(gamma_n: f64, child_gammas: &[f64]) -> f64 {
+    let lo_bound = child_gammas
+        .iter()
+        .fold(gamma_n, |m, &g| m.max(g))
+        .max(1e-12);
+    if gamma_n <= 0.0 {
+        // Nothing below ever saw a packet: α unidentifiable; report the
+        // floor so the link above absorbs the loss.
+        return lo_bound;
+    }
+    let f = |a: f64| (1.0 - gamma_n / a) - child_gammas.iter().map(|&g| 1.0 - g / a).product::<f64>();
+    let (mut lo, mut hi) = (lo_bound, 1.0);
+    // f(lo) <= 0 (left term 0 or negative at γ_max) and f(1) >= 0 whenever
+    // subtree observations are positively correlated; if not, fall back to
+    // the nearest bound.
+    if f(hi) < 0.0 {
+        return hi;
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{LinkId, MulticastTree, TreeBuilder};
+    use traces::{generate, GeneratorConfig, TraceMeta};
+
+    /// Builds a trace directly from a per-link drop schedule for exact
+    /// hand-checkable cases.
+    fn trace_from_drops(
+        tree: MulticastTree,
+        packets: usize,
+        drops: &[(LinkId, usize)],
+    ) -> Trace {
+        let mut plan = traces::LinkDrops::new(tree.len(), packets);
+        for &(l, s) in drops {
+            plan.add(l, s);
+        }
+        let rows = plan.receiver_loss(&tree);
+        let losses = rows.iter().map(BitSeq::count_ones).sum();
+        Trace::new(
+            tree,
+            TraceMeta {
+                name: "HAND".into(),
+                period_ms: 80,
+                packets,
+                losses,
+            },
+            rows,
+        )
+    }
+
+    fn star_tree() -> MulticastTree {
+        // n0 -> n1(router) -> {n2, n3, n4}
+        let mut b = TreeBuilder::new();
+        let r = b.add_router(b.root());
+        b.add_receiver(r);
+        b.add_receiver(r);
+        b.add_receiver(r);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn yajnik_exact_on_hand_trace() {
+        // 10 packets; link into n2 drops 2 of them; link into n1 drops 1.
+        let tree = star_tree();
+        let trace = trace_from_drops(
+            tree,
+            10,
+            &[
+                (LinkId(NodeId(2)), 0),
+                (LinkId(NodeId(2)), 5),
+                (LinkId(NodeId(1)), 7),
+            ],
+        );
+        let rates = yajnik_rates(&trace);
+        // Link into n1: 1 drop out of 10 packets reaching the root.
+        assert!((rates[1] - 0.1).abs() < 1e-9, "rate n1 = {}", rates[1]);
+        // Link into n2: 2 drops out of the 9 packets that reached n1.
+        assert!((rates[2] - 2.0 / 9.0).abs() < 1e-9, "rate n2 = {}", rates[2]);
+        assert_eq!(rates[3], 0.0);
+        assert_eq!(rates[4], 0.0);
+    }
+
+    #[test]
+    fn mle_exact_on_hand_trace() {
+        let tree = star_tree();
+        let trace = trace_from_drops(
+            tree,
+            10,
+            &[
+                (LinkId(NodeId(2)), 0),
+                (LinkId(NodeId(2)), 5),
+                (LinkId(NodeId(1)), 7),
+            ],
+        );
+        let rates = mle_rates(&trace);
+        assert!((rates[1] - 0.1).abs() < 0.02, "rate n1 = {}", rates[1]);
+        assert!((rates[2] - 2.0 / 9.0).abs() < 0.03, "rate n2 = {}", rates[2]);
+        assert!(rates[3] < 0.01);
+        assert!(rates[4] < 0.01);
+    }
+
+    #[test]
+    fn estimators_agree_on_synthetic_traces() {
+        // The paper: "both methods yield very similar link loss probability
+        // estimates". Compare end-to-end per-receiver loss rates implied by
+        // each estimate; per-link values may differ on unidentifiable
+        // chains.
+        let (trace, _) = generate(&GeneratorConfig::small(17));
+        let y = yajnik_rates(&trace);
+        let m = mle_rates(&trace);
+        let tree = trace.tree();
+        for &r in tree.receivers() {
+            let path = tree.path_links(tree.root(), r);
+            let e2e = |rates: &[f64]| -> f64 {
+                1.0 - path.iter().map(|l| 1.0 - rates[l.index()]).product::<f64>()
+            };
+            let (ey, em) = (e2e(&y), e2e(&m));
+            assert!(
+                (ey - em).abs() < 0.05,
+                "receiver {r}: yajnik {ey:.4} vs mle {em:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_track_ground_truth_end_to_end() {
+        let (trace, truth) = generate(&GeneratorConfig::small(23));
+        let y = yajnik_rates(&trace);
+        let tree = trace.tree();
+        for &r in tree.receivers() {
+            let observed = trace.losses_of(r) as f64 / trace.packets() as f64;
+            let path = tree.path_links(tree.root(), r);
+            let est = 1.0 - path.iter().map(|l| 1.0 - y[l.index()]).product::<f64>();
+            assert!(
+                (observed - est).abs() < 0.05,
+                "receiver {r}: observed {observed:.4} est {est:.4}"
+            );
+        }
+        // Per-link: links with many ground-truth drops should get clearly
+        // positive estimates.
+        for link in tree.links() {
+            if truth.drops_on(link) as f64 / trace.packets() as f64 > 0.05 {
+                assert!(y[link.index()] > 0.01, "link {link} estimated lossless");
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_trace_yields_zero_rates() {
+        let tree = star_tree();
+        let trace = trace_from_drops(tree, 10, &[]);
+        assert!(yajnik_rates(&trace).iter().all(|&p| p == 0.0));
+        assert!(mle_rates(&trace).iter().all(|&p| p == 0.0));
+    }
+}

@@ -1,0 +1,188 @@
+use std::fmt;
+
+/// A latency sample set with percentile queries and a text histogram —
+/// recovery-time *distributions* say more than means when comparing
+/// suppression-based and expedited recovery (the former is spread over
+/// rounds, the latter concentrates near one RTT).
+///
+/// # Examples
+///
+/// ```
+/// use metrics::LatencyHistogram;
+///
+/// let mut h: LatencyHistogram = vec![0.9, 1.1, 2.5, 3.0].into_iter().collect();
+/// assert_eq!(h.quantile(0.5), Some(1.1));
+/// assert_eq!(h.quantile(1.0), Some(3.0));
+/// assert!(h.mean().unwrap() > 1.8);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct LatencyHistogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Adds a sample (any non-negative, finite value; units are the
+    /// caller's, typically RTTs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN/infinite/negative samples.
+    pub fn push(&mut self, sample: f64) {
+        assert!(
+            sample.is_finite() && sample >= 0.0,
+            "samples must be finite and non-negative"
+        );
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` iff no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank), `0 ≤ q ≤ 1`; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// `(p50, p90, p99, max)`, or `None` when empty.
+    pub fn percentiles(&mut self) -> Option<(f64, f64, f64, f64)> {
+        Some((
+            self.quantile(0.5)?,
+            self.quantile(0.9)?,
+            self.quantile(0.99)?,
+            self.quantile(1.0)?,
+        ))
+    }
+
+    /// Renders a fixed-width text histogram with `buckets` equal-width bins
+    /// over `[0, max_sample]`.
+    pub fn render(&mut self, buckets: usize, width: usize) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let Some(max) = self.quantile(1.0) else {
+            return "(no samples)\n".to_string();
+        };
+        let buckets = buckets.max(1);
+        let hi = if max <= 0.0 { 1.0 } else { max };
+        let mut counts = vec![0usize; buckets];
+        for &s in &self.samples {
+            let idx = ((s / hi) * buckets as f64) as usize;
+            counts[idx.min(buckets - 1)] += 1;
+        }
+        let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &c) in counts.iter().enumerate() {
+            let lo = hi * i as f64 / buckets as f64;
+            let up = hi * (i + 1) as f64 / buckets as f64;
+            let bar = "#".repeat((c * width).div_ceil(peak).min(width));
+            let _ = writeln!(out, "{lo:>6.2}-{up:<6.2} |{bar:<width$}| {c}");
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for LatencyHistogram {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut h = LatencyHistogram::new();
+        for s in iter {
+            h.push(s);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h: LatencyHistogram = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.9), Some(90.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentiles(), None);
+        assert_eq!(h.render(4, 10), "(no samples)\n");
+    }
+
+    #[test]
+    fn interleaved_push_and_query() {
+        let mut h = LatencyHistogram::new();
+        h.push(3.0);
+        assert_eq!(h.quantile(1.0), Some(3.0));
+        h.push(1.0);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn render_shows_all_buckets() {
+        let mut h: LatencyHistogram = vec![0.1, 0.1, 0.9, 2.9].into_iter().collect();
+        let s = h.render(3, 20);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+        assert!(s.contains("| 3"), "first bucket holds three samples: {s}");
+        assert!(s.contains("| 0"), "middle bucket is empty: {s}");
+        assert!(s.contains("| 1"), "last bucket holds one sample: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan() {
+        LatencyHistogram::new().push(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie in [0, 1]")]
+    fn rejects_bad_quantile() {
+        let mut h: LatencyHistogram = vec![1.0].into_iter().collect();
+        h.quantile(1.5);
+    }
+}

@@ -1,0 +1,31 @@
+//! Recovery-latency and transmission-overhead accounting for reliable
+//! multicast simulations.
+//!
+//! The CESRM paper's evaluation (§4.4) reports, per trace and per receiver:
+//! average recovery times normalized by the receiver's RTT to the source
+//! (Fig. 1–2), request/reply packet counts split by recovery scheme and cast
+//! mode (Fig. 3–4), expedited-recovery success rates and link-crossing
+//! transmission overhead (Fig. 5). This crate provides the instrumentation
+//! that produces those numbers:
+//!
+//! * [`RecoveryLog`] — written by protocol agents: loss detection and
+//!   recovery events per `(receiver, packet)`.
+//! * [`TrafficCollector`] — a [`netsim::SimObserver`] counting packet sends
+//!   per node and link crossings (1 cost unit per crossing, §4.4) per
+//!   packet kind and cast mode.
+//! * [`ReceiverReport`]/[`per_receiver_reports`] — the per-receiver
+//!   normalized-latency aggregation behind Fig. 1 and Fig. 2.
+//! * [`OverheadBreakdown`] — the retransmission/control, multicast/unicast
+//!   overhead split behind Fig. 5.
+
+mod collector;
+mod histogram;
+mod recovery;
+mod report;
+
+pub use collector::{OverheadBreakdown, PacketKind, TrafficCollector};
+pub use histogram::LatencyHistogram;
+pub use recovery::{RecoveryLog, RecoveryRecord, SharedRecoveryLog};
+pub use report::{
+    expedited_timeline, per_receiver_reports, rtt_to_source, ReceiverReport, TimelineBin,
+};

@@ -1,0 +1,224 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use netsim::{PacketId, SimTime};
+use topology::NodeId;
+
+/// The lifecycle of one loss at one receiver: detection, then (hopefully)
+/// recovery, with the scheme that delivered the repair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecoveryRecord {
+    /// The receiver that suffered the loss.
+    pub receiver: NodeId,
+    /// The lost packet.
+    pub id: PacketId,
+    /// When the receiver first learned of the loss.
+    pub detected_at: SimTime,
+    /// When the repair arrived, if it ever did.
+    pub recovered_at: Option<SimTime>,
+    /// `true` when the repair that recovered this loss was an expedited
+    /// reply (CESRM's caching-based scheme).
+    pub expedited: bool,
+    /// Number of repair requests this receiver sent for the packet
+    /// (multicast SRM rounds; expedited requests are not counted).
+    pub requests_sent: u32,
+}
+
+impl RecoveryRecord {
+    /// Detection-to-repair latency, when recovered.
+    pub fn latency(&self) -> Option<netsim::SimDuration> {
+        self.recovered_at.map(|t| t - self.detected_at)
+    }
+}
+
+/// An append-only log of loss-recovery events, shared between the protocol
+/// agents of one simulation run.
+///
+/// Both `on_*` methods are idempotent in the way protocols need: the
+/// earliest detection and the earliest recovery win, later duplicates are
+/// ignored.
+#[derive(Clone, Default, Debug)]
+pub struct RecoveryLog {
+    records: HashMap<(NodeId, PacketId), RecoveryRecord>,
+}
+
+/// Shared handle to a [`RecoveryLog`]; one clone per agent plus one for the
+/// harness.
+pub type SharedRecoveryLog = Rc<RefCell<RecoveryLog>>;
+
+impl RecoveryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RecoveryLog::default()
+    }
+
+    /// Creates an empty shared log.
+    pub fn shared() -> SharedRecoveryLog {
+        Rc::new(RefCell::new(RecoveryLog::new()))
+    }
+
+    /// Records that `receiver` detected the loss of `id` at `now`. Repeat
+    /// detections keep the earliest timestamp.
+    pub fn on_detect(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
+        self.records
+            .entry((receiver, id))
+            .or_insert_with(|| RecoveryRecord {
+                receiver,
+                id,
+                detected_at: now,
+                recovered_at: None,
+                expedited: false,
+                requests_sent: 0,
+            });
+    }
+
+    /// Records that `receiver` recovered `id` at `now` via an expedited or
+    /// normal repair. The first recovery wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no detection was recorded for `(receiver, id)` — protocols
+    /// can only recover losses they detected.
+    pub fn on_recover(&mut self, receiver: NodeId, id: PacketId, now: SimTime, expedited: bool) {
+        let rec = self
+            .records
+            .get_mut(&(receiver, id))
+            .expect("recovery without prior detection");
+        if rec.recovered_at.is_none() {
+            rec.recovered_at = Some(now);
+            rec.expedited = expedited;
+        }
+    }
+
+    /// Records that `receiver` sent (another) multicast repair request for
+    /// `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no detection was recorded for `(receiver, id)`.
+    pub fn on_request_sent(&mut self, receiver: NodeId, id: PacketId) {
+        let rec = self
+            .records
+            .get_mut(&(receiver, id))
+            .expect("request without prior detection");
+        rec.requests_sent += 1;
+    }
+
+    /// Voids the record for `(receiver, id)`: the detection turned out
+    /// spurious (the original packet arrived after all, e.g. under
+    /// reordering). No-op if no record exists or the loss already
+    /// recovered (a recovery proves the loss was real).
+    pub fn on_spurious(&mut self, receiver: NodeId, id: PacketId) {
+        if let Some(rec) = self.records.get(&(receiver, id)) {
+            if rec.recovered_at.is_none() {
+                self.records.remove(&(receiver, id));
+            }
+        }
+    }
+
+    /// `true` iff `receiver` has a record (i.e. detected the loss) for `id`.
+    pub fn detected(&self, receiver: NodeId, id: PacketId) -> bool {
+        self.records.contains_key(&(receiver, id))
+    }
+
+    /// All records, in unspecified order.
+    pub fn records(&self) -> impl Iterator<Item = &RecoveryRecord> {
+        self.records.values()
+    }
+
+    /// Number of records (detected losses).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff no losses were detected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of detected losses never recovered.
+    pub fn unrecovered(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| r.recovered_at.is_none())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SeqNo, SimDuration};
+
+    fn pid(seq: u64) -> PacketId {
+        PacketId {
+            source: NodeId::ROOT,
+            seq: SeqNo(seq),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn detect_then_recover() {
+        let mut log = RecoveryLog::new();
+        log.on_detect(NodeId(2), pid(1), t(10));
+        assert!(log.detected(NodeId(2), pid(1)));
+        assert!(!log.detected(NodeId(3), pid(1)));
+        log.on_recover(NodeId(2), pid(1), t(150), true);
+        let rec = log.records().next().unwrap();
+        assert_eq!(rec.latency(), Some(SimDuration::from_millis(140)));
+        assert!(rec.expedited);
+        assert_eq!(log.unrecovered(), 0);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn earliest_detection_and_recovery_win() {
+        let mut log = RecoveryLog::new();
+        log.on_detect(NodeId(2), pid(1), t(10));
+        log.on_detect(NodeId(2), pid(1), t(20));
+        log.on_recover(NodeId(2), pid(1), t(100), false);
+        log.on_recover(NodeId(2), pid(1), t(200), true);
+        let rec = log.records().next().unwrap();
+        assert_eq!(rec.detected_at, t(10));
+        assert_eq!(rec.recovered_at, Some(t(100)));
+        assert!(!rec.expedited, "later duplicate recovery must not override");
+    }
+
+    #[test]
+    fn request_counting() {
+        let mut log = RecoveryLog::new();
+        log.on_detect(NodeId(2), pid(1), t(10));
+        log.on_request_sent(NodeId(2), pid(1));
+        log.on_request_sent(NodeId(2), pid(1));
+        assert_eq!(log.records().next().unwrap().requests_sent, 2);
+    }
+
+    #[test]
+    fn unrecovered_counts() {
+        let mut log = RecoveryLog::new();
+        log.on_detect(NodeId(2), pid(1), t(10));
+        log.on_detect(NodeId(2), pid(2), t(10));
+        log.on_recover(NodeId(2), pid(1), t(90), false);
+        assert_eq!(log.unrecovered(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without prior detection")]
+    fn recovery_requires_detection() {
+        let mut log = RecoveryLog::new();
+        log.on_recover(NodeId(2), pid(1), t(90), false);
+    }
+
+    #[test]
+    fn shared_log_handle() {
+        let shared = RecoveryLog::shared();
+        shared.borrow_mut().on_detect(NodeId(1), pid(0), t(1));
+        assert_eq!(shared.borrow().len(), 1);
+        assert!(!shared.borrow().is_empty());
+    }
+}

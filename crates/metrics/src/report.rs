@@ -1,0 +1,279 @@
+use netsim::{NetConfig, SimDuration};
+use topology::{MulticastTree, NodeId};
+
+use crate::RecoveryLog;
+
+/// A receiver's round-trip time to the source under the paper's simulation
+/// model: control packets incur only propagation delay, so the RTT the
+/// session protocol estimates is `2 × hops × link_delay`. Recovery times in
+/// Fig. 1–2 are normalized by this value.
+pub fn rtt_to_source(tree: &MulticastTree, cfg: &NetConfig, receiver: NodeId) -> SimDuration {
+    let hops = tree.hop_distance(tree.root(), receiver) as u32;
+    cfg.link_delay * hops * 2
+}
+
+/// Per-receiver recovery aggregates: the quantities plotted per receiver in
+/// the paper's Fig. 1 (average normalized recovery time) and Fig. 2
+/// (expedited vs non-expedited difference).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ReceiverReport {
+    /// The receiver.
+    pub receiver: NodeId,
+    /// Losses detected by this receiver.
+    pub losses: usize,
+    /// Losses recovered.
+    pub recovered: usize,
+    /// Losses recovered by an expedited reply.
+    pub expedited: usize,
+    /// Mean recovery latency over recovered losses, in units of the
+    /// receiver's RTT to the source.
+    pub avg_norm_recovery: f64,
+    /// Mean normalized latency of expedited recoveries only (`None` if no
+    /// expedited recovery happened).
+    pub avg_norm_expedited: Option<f64>,
+    /// Mean normalized latency of non-expedited recoveries only.
+    pub avg_norm_normal: Option<f64>,
+}
+
+impl ReceiverReport {
+    /// The Fig. 2 quantity: difference between the average normalized
+    /// non-expedited and expedited recovery times, when both exist.
+    pub fn expedited_gap(&self) -> Option<f64> {
+        match (self.avg_norm_normal, self.avg_norm_expedited) {
+            (Some(n), Some(e)) => Some(n - e),
+            _ => None,
+        }
+    }
+
+    /// Fraction of this receiver's recovered losses that went through the
+    /// expedited scheme.
+    pub fn expedited_fraction(&self) -> f64 {
+        if self.recovered == 0 {
+            0.0
+        } else {
+            self.expedited as f64 / self.recovered as f64
+        }
+    }
+}
+
+/// Aggregates a recovery log into per-receiver reports, ordered by receiver
+/// id (the per-receiver series of Fig. 1–2).
+pub fn per_receiver_reports(
+    log: &RecoveryLog,
+    tree: &MulticastTree,
+    cfg: &NetConfig,
+) -> Vec<ReceiverReport> {
+    tree.receivers()
+        .iter()
+        .map(|&r| {
+            let rtt = rtt_to_source(tree, cfg, r).as_secs_f64();
+            let mut losses = 0usize;
+            let mut recovered = 0usize;
+            let mut expedited = 0usize;
+            let mut norm_sum = 0.0;
+            let mut exp_sum = 0.0;
+            let mut normal_sum = 0.0;
+            for rec in log.records().filter(|rec| rec.receiver == r) {
+                losses += 1;
+                let Some(lat) = rec.latency() else { continue };
+                recovered += 1;
+                let norm = lat.as_secs_f64() / rtt;
+                norm_sum += norm;
+                if rec.expedited {
+                    expedited += 1;
+                    exp_sum += norm;
+                } else {
+                    normal_sum += norm;
+                }
+            }
+            let normal = recovered - expedited;
+            ReceiverReport {
+                receiver: r,
+                losses,
+                recovered,
+                expedited,
+                avg_norm_recovery: if recovered == 0 {
+                    0.0
+                } else {
+                    norm_sum / recovered as f64
+                },
+                avg_norm_expedited: (expedited > 0).then(|| exp_sum / expedited as f64),
+                avg_norm_normal: (normal > 0).then(|| normal_sum / normal as f64),
+            }
+        })
+        .collect()
+}
+
+/// One bin of a recovery timeline: how many losses completed recovery in
+/// the window and how many of those went through the expedited scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimelineBin {
+    /// Window start.
+    pub start: netsim::SimTime,
+    /// Recoveries completed in the window.
+    pub recoveries: usize,
+    /// Of those, recoveries by expedited reply.
+    pub expedited: usize,
+}
+
+impl TimelineBin {
+    /// Expedited fraction of the window's recoveries (0 when empty).
+    pub fn expedited_fraction(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.expedited as f64 / self.recoveries as f64
+        }
+    }
+}
+
+/// Buckets recoveries into fixed `window`s by completion time — the view
+/// that shows CESRM's cache warming up at stream start and re-adapting
+/// after membership churn (paper §3.3: "the expeditious requestor/replier
+/// selection policy affects how fast CESRM's expedited recovery scheme
+/// adapts").
+///
+/// Bins start at the earliest recovery, cover through the latest, and are
+/// dense (empty bins included).
+pub fn expedited_timeline(log: &RecoveryLog, window: SimDuration) -> Vec<TimelineBin> {
+    assert!(!window.is_zero(), "window must be positive");
+    let times: Vec<(netsim::SimTime, bool)> = log
+        .records()
+        .filter_map(|r| r.recovered_at.map(|t| (t, r.expedited)))
+        .collect();
+    let Some(&(first, _)) = times.iter().min_by_key(|(t, _)| *t) else {
+        return Vec::new();
+    };
+    let last = times.iter().map(|(t, _)| *t).max().expect("non-empty");
+    let nbins = ((last - first).as_nanos() / window.as_nanos() + 1) as usize;
+    let mut bins: Vec<TimelineBin> = (0..nbins)
+        .map(|i| TimelineBin {
+            start: first + window * i as u32,
+            recoveries: 0,
+            expedited: 0,
+        })
+        .collect();
+    for (t, expedited) in times {
+        let idx = ((t - first).as_nanos() / window.as_nanos()) as usize;
+        let bin = &mut bins[idx.min(nbins - 1)];
+        bin.recoveries += 1;
+        if expedited {
+            bin.expedited += 1;
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{PacketId, SeqNo, SimTime};
+    use topology::TreeBuilder;
+
+    fn tree() -> MulticastTree {
+        let mut b = TreeBuilder::new();
+        let r = b.add_router(b.root());
+        b.add_receiver(r); // n2: 2 hops
+        b.add_receiver(b.root()); // n3: 1 hop
+        b.build().unwrap()
+    }
+
+    fn pid(seq: u64) -> PacketId {
+        PacketId {
+            source: NodeId::ROOT,
+            seq: SeqNo(seq),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn rtt_is_two_hops_delay() {
+        let tr = tree();
+        let cfg = NetConfig::default(); // 20 ms links
+        assert_eq!(
+            rtt_to_source(&tr, &cfg, NodeId(2)),
+            SimDuration::from_millis(80)
+        );
+        assert_eq!(
+            rtt_to_source(&tr, &cfg, NodeId(3)),
+            SimDuration::from_millis(40)
+        );
+    }
+
+    #[test]
+    fn normalized_aggregation() {
+        let tr = tree();
+        let cfg = NetConfig::default();
+        let mut log = RecoveryLog::new();
+        // n2 (RTT 80 ms): one expedited recovery of 80 ms (1 RTT), one
+        // normal of 240 ms (3 RTT), one unrecovered.
+        log.on_detect(NodeId(2), pid(0), t(1000));
+        log.on_recover(NodeId(2), pid(0), t(1080), true);
+        log.on_detect(NodeId(2), pid(1), t(2000));
+        log.on_recover(NodeId(2), pid(1), t(2240), false);
+        log.on_detect(NodeId(2), pid(2), t(3000));
+        // n3 (RTT 40 ms): one normal recovery of 60 ms (1.5 RTT).
+        log.on_detect(NodeId(3), pid(0), t(1000));
+        log.on_recover(NodeId(3), pid(0), t(1060), false);
+        let reports = per_receiver_reports(&log, &tr, &cfg);
+        assert_eq!(reports.len(), 2);
+        let r2 = &reports[0];
+        assert_eq!(r2.receiver, NodeId(2));
+        assert_eq!(r2.losses, 3);
+        assert_eq!(r2.recovered, 2);
+        assert_eq!(r2.expedited, 1);
+        assert!((r2.avg_norm_recovery - 2.0).abs() < 1e-9);
+        assert!((r2.avg_norm_expedited.unwrap() - 1.0).abs() < 1e-9);
+        assert!((r2.avg_norm_normal.unwrap() - 3.0).abs() < 1e-9);
+        assert!((r2.expedited_gap().unwrap() - 2.0).abs() < 1e-9);
+        assert!((r2.expedited_fraction() - 0.5).abs() < 1e-9);
+        let r3 = &reports[1];
+        assert_eq!(r3.expedited, 0);
+        assert_eq!(r3.expedited_gap(), None);
+        assert!((r3.avg_norm_recovery - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_yields_zeroes() {
+        let tr = tree();
+        let cfg = NetConfig::default();
+        let reports = per_receiver_reports(&RecoveryLog::new(), &tr, &cfg);
+        assert!(reports.iter().all(|r| r.losses == 0 && r.recovered == 0));
+        assert!(reports.iter().all(|r| r.avg_norm_recovery == 0.0));
+    }
+
+    #[test]
+    fn timeline_bins_are_dense_and_counted() {
+        let mut log = RecoveryLog::new();
+        // Recoveries at 1.0 s (normal), 1.1 s (expedited), 5.0 s (expedited).
+        for (i, (at_ms, expedited)) in
+            [(1_000u64, false), (1_100, true), (5_000, true)].iter().enumerate()
+        {
+            log.on_detect(NodeId(2), pid(i as u64), t(500));
+            log.on_recover(NodeId(2), pid(i as u64), t(*at_ms), *expedited);
+        }
+        let bins = expedited_timeline(&log, SimDuration::from_secs(1));
+        assert_eq!(bins.len(), 5, "dense bins from 1.0 s through 5.0 s");
+        assert_eq!(bins[0].recoveries, 2);
+        assert_eq!(bins[0].expedited, 1);
+        assert!((bins[0].expedited_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(bins[1].recoveries, 0);
+        assert_eq!(bins[4].recoveries, 1);
+        assert_eq!(bins[4].expedited, 1);
+        assert_eq!(bins[0].start, t(1_000));
+    }
+
+    #[test]
+    fn timeline_of_empty_log_is_empty() {
+        assert!(expedited_timeline(&RecoveryLog::new(), SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn timeline_rejects_zero_window() {
+        expedited_timeline(&RecoveryLog::new(), SimDuration::ZERO);
+    }
+}

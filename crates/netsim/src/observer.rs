@@ -1,0 +1,124 @@
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use topology::{LinkId, NodeId};
+
+use crate::{Packet, SimTime};
+
+/// Direction of travel across a link, relative to the tree: [`Up`] is from
+/// child towards the root, [`Down`] from parent towards the leaves.
+///
+/// [`Up`]: Direction::Up
+/// [`Down`]: Direction::Down
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Child → parent.
+    Up,
+    /// Parent → child.
+    Down,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Up => "up",
+            Direction::Down => "down",
+        })
+    }
+}
+
+/// Passive hooks called by the [`Simulator`](crate::Simulator) as traffic
+/// moves; used by the metrics layer to account for transmission overhead
+/// (one cost unit per link crossing, paper §4.4) and packet counts without
+/// entangling the simulator with reporting concerns.
+///
+/// All methods default to no-ops so observers implement only what they need.
+pub trait SimObserver {
+    /// A packet was sent by the agent (or source) at `node`.
+    fn on_send(&mut self, _now: SimTime, _node: NodeId, _packet: &Packet) {}
+
+    /// A packet was transmitted across `link` in direction `dir`. Called
+    /// even when the packet is subsequently dropped on that link.
+    fn on_link_crossing(&mut self, _now: SimTime, _link: LinkId, _dir: Direction, _packet: &Packet) {
+    }
+
+    /// A packet was dropped on `link` (after the crossing was counted).
+    fn on_drop(&mut self, _now: SimTime, _link: LinkId, _packet: &Packet) {}
+
+    /// A packet was delivered to the agent at `node`.
+    fn on_delivery(&mut self, _now: SimTime, _node: NodeId, _packet: &Packet) {}
+}
+
+/// An observer that records nothing.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// Shared-ownership observers: hand one clone to the simulator and keep the
+/// other to inspect results after the run.
+impl<T: SimObserver> SimObserver for Rc<RefCell<T>> {
+    fn on_send(&mut self, now: SimTime, node: NodeId, packet: &Packet) {
+        self.borrow_mut().on_send(now, node, packet);
+    }
+    fn on_link_crossing(&mut self, now: SimTime, link: LinkId, dir: Direction, packet: &Packet) {
+        self.borrow_mut().on_link_crossing(now, link, dir, packet);
+    }
+    fn on_drop(&mut self, now: SimTime, link: LinkId, packet: &Packet) {
+        self.borrow_mut().on_drop(now, link, packet);
+    }
+    fn on_delivery(&mut self, now: SimTime, node: NodeId, packet: &Packet) {
+        self.borrow_mut().on_delivery(now, node, packet);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Up.reverse(), Direction::Down);
+        assert_eq!(Direction::Down.reverse(), Direction::Up);
+        assert_eq!(Direction::Up.reverse().reverse(), Direction::Up);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Direction::Up.to_string(), "up");
+        assert_eq!(Direction::Down.to_string(), "down");
+    }
+
+    #[test]
+    fn shared_observer_delegates() {
+        #[derive(Default)]
+        struct Counter {
+            sends: usize,
+        }
+        impl SimObserver for Counter {
+            fn on_send(&mut self, _: SimTime, _: NodeId, _: &Packet) {
+                self.sends += 1;
+            }
+        }
+        let shared = Rc::new(RefCell::new(Counter::default()));
+        let mut handle: Rc<RefCell<Counter>> = Rc::clone(&shared);
+        let pkt = Packet {
+            origin: NodeId::ROOT,
+            cast: crate::CastClass::Multicast,
+            body: crate::PacketBody::session(NodeId::ROOT, SimTime::ZERO, None, Vec::new()),
+        };
+        handle.on_send(SimTime::ZERO, NodeId::ROOT, &pkt);
+        assert_eq!(shared.borrow().sends, 1);
+    }
+}

@@ -1,0 +1,965 @@
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use topology::{LinkId, MulticastTree, NodeId};
+
+use crate::agent::{Agent, Context, DeliveryMeta, TimerToken};
+use crate::observer::{Direction, NullObserver, SimObserver};
+use crate::{CastClass, LossProcess, NetConfig, NoLoss, Packet, PacketBody, SimDuration, SimTime};
+
+/// How a packet copy propagates through the tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PropMode {
+    /// Dense-mode multicast: flood every link once.
+    Flood,
+    /// Hop-by-hop unicast towards the destination.
+    Unicast(NodeId),
+    /// Unicast leg of a subcast, towards the designated router.
+    SubcastLeg(NodeId),
+    /// Downstream-only flood below the subcast router.
+    FloodDown,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start {
+        node: NodeId,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Hop {
+        at: NodeId,
+        from: NodeId,
+        packet: Rc<Packet>,
+        mode: PropMode,
+        turning_point: Option<NodeId>,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator: a multicast tree, per-direction link
+/// queues, a totally-ordered event queue, protocol agents, a loss process
+/// and an observer.
+///
+/// See the [crate docs](crate) for the network model. Construction wires a
+/// [`NoLoss`] process and a [`NullObserver`]; replace them with
+/// [`set_loss`](Simulator::set_loss) and
+/// [`set_observer`](Simulator::set_observer) before running.
+pub struct Simulator {
+    tree: MulticastTree,
+    cfg: NetConfig,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    /// `link_free[i][dir]` is when the link into node `i` becomes free in
+    /// direction `dir` (0 = up, 1 = down).
+    link_free: Vec<[SimTime; 2]>,
+    /// Per-link propagation delay overrides (by link head index); `None`
+    /// falls back to [`NetConfig::link_delay`].
+    link_delay_override: Vec<Option<SimDuration>>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    loss: Box<dyn LossProcess>,
+    observer: Box<dyn SimObserver>,
+    rng: StdRng,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator over `tree` with the given configuration.
+    pub fn new(tree: MulticastTree, cfg: NetConfig) -> Self {
+        let n = tree.len();
+        Simulator {
+            tree,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            link_free: vec![[SimTime::ZERO; 2]; n],
+            link_delay_override: vec![None; n],
+            agents: (0..n).map(|_| None).collect(),
+            loss: Box::new(NoLoss),
+            observer: Box::new(NullObserver),
+            events_processed: 0,
+        }
+    }
+
+    /// The multicast tree being simulated.
+    #[inline]
+    pub fn tree(&self) -> &MulticastTree {
+        &self.tree
+    }
+
+    /// The network configuration.
+    #[inline]
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Installs the loss process consulted on every link crossing.
+    pub fn set_loss(&mut self, loss: Box<dyn LossProcess>) {
+        self.loss = loss;
+    }
+
+    /// Read access to the agent at `node`, if any. Not available while that
+    /// agent is being dispatched (it is temporarily detached).
+    pub fn agent(&self, node: NodeId) -> Option<&dyn Agent> {
+        self.agents[node.index()].as_deref()
+    }
+
+    /// Read access to the concrete agent type at `node`; `None` when the
+    /// node has no agent or it is of a different type. Lets harnesses
+    /// assert protocol end-state (e.g. full reception) after a run.
+    pub fn agent_as<T: Agent>(&self, node: NodeId) -> Option<&T> {
+        let agent = self.agent(node)?;
+        (agent as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Removes and returns the agent at `node`, modelling a host crash or a
+    /// member leaving the group: packets are still forwarded through the
+    /// node (routing is the network's job) but nothing is delivered or sent
+    /// from it anymore; its pending timers fire into the void.
+    pub fn detach_agent(&mut self, node: NodeId) -> Option<Box<dyn Agent>> {
+        self.agents[node.index()].take()
+    }
+
+    /// Overrides the propagation delay of `link` (both directions),
+    /// modelling heterogeneous link latencies. The paper uses uniform
+    /// delays; this supports sensitivity studies beyond it.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
+        self.link_delay_override[link.index()] = Some(delay);
+    }
+
+    /// Installs the traffic observer.
+    pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.observer = observer;
+    }
+
+    /// Attaches a protocol agent to `node`; its
+    /// [`on_start`](Agent::on_start) runs at the current simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` already has an agent.
+    pub fn attach_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) {
+        assert!(
+            self.agents[node.index()].is_none(),
+            "node {node} already has an agent"
+        );
+        self.agents[node.index()] = Some(agent);
+        self.push(self.now, EventKind::Start { node });
+    }
+
+    /// Delivers a crafted packet directly to the agent at `node`, as if it
+    /// had just arrived from `prev_hop` — a white-box testing hook that
+    /// bypasses links, loss and forwarding. Takes effect immediately, at
+    /// the current simulated time.
+    pub fn inject_packet(
+        &mut self,
+        node: NodeId,
+        prev_hop: NodeId,
+        packet: Packet,
+        turning_point: Option<NodeId>,
+    ) {
+        self.deliver(node, prev_hop, &Rc::new(packet), turning_point);
+    }
+
+    /// Processes exactly one event (if any), advancing the clock to it.
+    /// Returns `false` when the queue is empty. Together with
+    /// [`inject_packet`](Simulator::inject_packet) this supports
+    /// fine-grained protocol state-machine tests.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        self.dispatch(ev.kind);
+        true
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    /// Runs the simulation until the event queue is exhausted or simulated
+    /// time reaches `until`, whichever comes first. Afterwards
+    /// [`now`](Simulator::now) equals `until` (or the later of the two if
+    /// events at exactly `until` were processed).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            self.events_processed += 1;
+            self.dispatch(ev.kind);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { node } => {
+                self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+            }
+            EventKind::Timer { node, token } => {
+                if self.cancelled.remove(&token) {
+                    return;
+                }
+                self.with_agent(node, |agent, ctx| agent.on_timer(ctx, TimerToken(token)));
+            }
+            EventKind::Hop {
+                at,
+                from,
+                packet,
+                mode,
+                turning_point,
+            } => self.hop(at, from, packet, mode, turning_point),
+        }
+    }
+
+    /// Runs `f` with the agent at `node` (if any) temporarily removed so the
+    /// context can borrow the simulator mutably.
+    fn with_agent<F: FnOnce(&mut dyn Agent, &mut Context<'_>)>(&mut self, node: NodeId, f: F) {
+        if let Some(mut agent) = self.agents[node.index()].take() {
+            let mut ctx = Context { sim: self, node };
+            f(agent.as_mut(), &mut ctx);
+            self.agents[node.index()] = Some(agent);
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    pub(crate) fn schedule_timer(&mut self, node: NodeId, after: SimDuration) -> TimerToken {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.push(self.now + after, EventKind::Timer { node, token });
+        TimerToken(token)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, token: TimerToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    pub(crate) fn send_multicast(&mut self, origin: NodeId, body: PacketBody) {
+        let packet = Rc::new(Packet {
+            origin,
+            cast: CastClass::Multicast,
+            body,
+        });
+        self.observer.on_send(self.now, origin, &packet);
+        self.fan_out(origin, None, &packet, PropMode::Flood, None);
+    }
+
+    pub(crate) fn send_unicast(&mut self, origin: NodeId, dest: NodeId, body: PacketBody) {
+        assert!(origin != dest, "cannot unicast to self");
+        let packet = Rc::new(Packet {
+            origin,
+            cast: CastClass::Unicast,
+            body,
+        });
+        self.observer.on_send(self.now, origin, &packet);
+        let next = self.tree.next_hop(origin, dest);
+        self.transmit(origin, next, &packet, PropMode::Unicast(dest), None);
+    }
+
+    pub(crate) fn send_subcast(&mut self, origin: NodeId, via: NodeId, body: PacketBody) {
+        let packet = Rc::new(Packet {
+            origin,
+            cast: CastClass::Subcast,
+            body,
+        });
+        self.observer.on_send(self.now, origin, &packet);
+        if origin == via {
+            self.flood_down(via, &packet, Some(via));
+        } else {
+            let next = self.tree.next_hop(origin, via);
+            self.transmit(origin, next, &packet, PropMode::SubcastLeg(via), None);
+        }
+    }
+
+    /// Forwards a flood-mode packet from `at` to every neighbour except
+    /// `from`, computing turning-point transitions per branch.
+    fn fan_out(
+        &mut self,
+        at: NodeId,
+        from: Option<NodeId>,
+        packet: &Rc<Packet>,
+        mode: PropMode,
+        turning_point: Option<NodeId>,
+    ) {
+        let parent = self.tree.parent(at);
+        let neighbors = self.tree.neighbors(at);
+        for nb in neighbors {
+            if Some(nb) == from {
+                continue;
+            }
+            let going_down = Some(nb) != parent;
+            // The packet "turns" at the first node that forwards it onto a
+            // downstream link; the turning point sticks from there on.
+            let tp = if going_down {
+                turning_point.or(Some(at))
+            } else {
+                turning_point
+            };
+            self.transmit(at, nb, packet, mode, tp);
+        }
+    }
+
+    fn flood_down(&mut self, at: NodeId, packet: &Rc<Packet>, turning_point: Option<NodeId>) {
+        let children: Vec<NodeId> = self.tree.children(at).to_vec();
+        for c in children {
+            self.transmit(at, c, packet, PropMode::FloodDown, turning_point);
+        }
+    }
+
+    /// Serializes the packet onto the link between adjacent nodes `a` and
+    /// `b`, consults the loss process, and schedules the arrival hop.
+    fn transmit(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        packet: &Rc<Packet>,
+        mode: PropMode,
+        turning_point: Option<NodeId>,
+    ) {
+        let (link, dir) = if self.tree.parent(b) == Some(a) {
+            (LinkId(b), Direction::Down)
+        } else if self.tree.parent(a) == Some(b) {
+            (LinkId(a), Direction::Up)
+        } else {
+            panic!("transmit between non-adjacent nodes {a} and {b}");
+        };
+        let size = packet.body.size_bytes(&self.cfg);
+        let tx = self.cfg.transmission_time(size);
+        let dir_idx = match dir {
+            Direction::Up => 0,
+            Direction::Down => 1,
+        };
+        let free = &mut self.link_free[link.index()][dir_idx];
+        let depart = if *free > self.now { *free } else { self.now };
+        let depart = depart + tx;
+        *free = depart;
+        self.observer.on_link_crossing(self.now, link, dir, packet);
+        if self.loss.should_drop(link, packet, &mut self.rng) {
+            self.observer.on_drop(self.now, link, packet);
+            return;
+        }
+        let base_delay = self.link_delay_override[link.index()].unwrap_or(self.cfg.link_delay);
+        let jitter = if self.cfg.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.rng.gen_range(0..=self.cfg.jitter.as_nanos()))
+        };
+        let arrive = depart + base_delay + jitter;
+        self.push(
+            arrive,
+            EventKind::Hop {
+                at: b,
+                from: a,
+                packet: Rc::clone(packet),
+                mode,
+                turning_point,
+            },
+        );
+    }
+
+    fn hop(
+        &mut self,
+        at: NodeId,
+        from: NodeId,
+        packet: Rc<Packet>,
+        mode: PropMode,
+        turning_point: Option<NodeId>,
+    ) {
+        match mode {
+            PropMode::Flood => {
+                self.deliver(at, from, &packet, turning_point);
+                self.fan_out(at, Some(from), &packet, PropMode::Flood, turning_point);
+            }
+            PropMode::FloodDown => {
+                self.deliver(at, from, &packet, turning_point);
+                self.flood_down(at, &packet, turning_point);
+            }
+            PropMode::Unicast(dest) => {
+                if at == dest {
+                    self.deliver(at, from, &packet, turning_point);
+                } else {
+                    let next = self.tree.next_hop(at, dest);
+                    self.transmit(at, next, &packet, mode, turning_point);
+                }
+            }
+            PropMode::SubcastLeg(via) => {
+                if at == via {
+                    self.flood_down(via, &packet, Some(via));
+                } else {
+                    let next = self.tree.next_hop(at, via);
+                    self.transmit(at, next, &packet, mode, turning_point);
+                }
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        node: NodeId,
+        prev_hop: NodeId,
+        packet: &Rc<Packet>,
+        turning_point: Option<NodeId>,
+    ) {
+        if self.agents[node.index()].is_none() {
+            return;
+        }
+        self.observer.on_delivery(self.now, node, packet);
+        let meta = DeliveryMeta {
+            prev_hop,
+            turning_point: if self.cfg.router_assist {
+                turning_point
+            } else {
+                None
+            },
+        };
+        let pkt = Rc::clone(packet);
+        self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &pkt, &meta));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PacketId, SeqNo, TraceLoss};
+    use std::cell::RefCell;
+    use std::rc::Rc as StdRc;
+    use topology::TreeBuilder;
+
+    /// Tree used by most tests:
+    ///
+    /// ```text
+    /// n0 (source)
+    ///   n1 (router)
+    ///     n2 (receiver)
+    ///     n3 (router)
+    ///       n4 (receiver)
+    ///       n5 (receiver)
+    ///   n6 (receiver)
+    /// ```
+    fn sample_tree() -> MulticastTree {
+        let mut b = TreeBuilder::new();
+        let r1 = b.add_router(b.root());
+        b.add_receiver(r1);
+        let r3 = b.add_router(r1);
+        b.add_receiver(r3);
+        b.add_receiver(r3);
+        b.add_receiver(b.root());
+        b.build().unwrap()
+    }
+
+    type Log = StdRc<RefCell<Vec<(NodeId, SimTime, Packet, DeliveryMeta)>>>;
+
+    /// Records every delivery; optionally sends a scripted packet at start.
+    struct Recorder {
+        log: Log,
+        send_at_start: Option<(CastKind, PacketBody)>,
+    }
+
+    enum CastKind {
+        Multi,
+        Uni(NodeId),
+        Sub(NodeId),
+    }
+
+    impl Agent for Recorder {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if let Some((cast, body)) = self.send_at_start.take() {
+                match cast {
+                    CastKind::Multi => ctx.multicast(body),
+                    CastKind::Uni(d) => ctx.unicast(d, body),
+                    CastKind::Sub(v) => ctx.subcast(v, body),
+                }
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: &Packet, meta: &DeliveryMeta) {
+            self.log
+                .borrow_mut()
+                .push((ctx.me(), ctx.now(), packet.clone(), *meta));
+        }
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+    }
+
+    fn recorder(log: &Log) -> Box<Recorder> {
+        Box::new(Recorder {
+            log: StdRc::clone(log),
+            send_at_start: None,
+        })
+    }
+
+    fn sender(log: &Log, cast: CastKind, body: PacketBody) -> Box<Recorder> {
+        Box::new(Recorder {
+            log: StdRc::clone(log),
+            send_at_start: Some((cast, body)),
+        })
+    }
+
+    fn data_body(seq: u64) -> PacketBody {
+        PacketBody::Data {
+            id: PacketId {
+                source: NodeId::ROOT,
+                seq: SeqNo(seq),
+            },
+        }
+    }
+
+    fn control_body(member: NodeId) -> PacketBody {
+        PacketBody::session(member, SimTime::ZERO, None, Vec::new())
+    }
+
+    fn attach_all_receivers(sim: &mut Simulator, log: &Log) {
+        for &r in sim.tree().receivers().to_vec().iter() {
+            sim.attach_agent(r, recorder(log));
+        }
+    }
+
+    #[test]
+    fn multicast_from_source_reaches_every_receiver_once() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        let mut who: Vec<NodeId> = entries.iter().map(|e| e.0).collect();
+        who.sort_unstable();
+        assert_eq!(who, vec![NodeId(2), NodeId(4), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn data_delivery_time_is_hops_times_tx_plus_delay() {
+        let log: Log = Default::default();
+        let cfg = NetConfig::default();
+        let mut sim = Simulator::new(sample_tree(), cfg);
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let per_hop = cfg.transmission_time(cfg.payload_bytes) + cfg.link_delay;
+        let entries = log.borrow();
+        for (node, at, _, _) in entries.iter() {
+            let hops = sim.tree().hop_distance(NodeId::ROOT, *node) as u32;
+            assert_eq!(
+                *at,
+                SimTime::ZERO + per_hop * hops,
+                "wrong arrival at {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_packets_incur_delay_only() {
+        let log: Log = Default::default();
+        let cfg = NetConfig::default();
+        let mut sim = Simulator::new(sample_tree(), cfg);
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(
+            NodeId::ROOT,
+            sender(&log, CastKind::Multi, control_body(NodeId::ROOT)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        for (node, at, _, _) in log.borrow().iter() {
+            let hops = sim.tree().hop_distance(NodeId::ROOT, *node) as u32;
+            assert_eq!(*at, SimTime::ZERO + cfg.link_delay * hops);
+        }
+    }
+
+    #[test]
+    fn multicast_from_receiver_floods_whole_tree() {
+        // A receiver's multicast must reach the source and all other
+        // receivers (dense-mode flood), but not itself.
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.attach_agent(NodeId(4), sender(&log, CastKind::Multi, control_body(NodeId(4))));
+        for &r in &[NodeId(2), NodeId(5), NodeId(6)] {
+            sim.attach_agent(r, recorder(&log));
+        }
+        sim.attach_agent(NodeId::ROOT, recorder(&log));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let mut who: Vec<NodeId> = log.borrow().iter().map(|e| e.0).collect();
+        who.sort_unstable();
+        assert_eq!(who, vec![NodeId(0), NodeId(2), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn unicast_reaches_only_destination() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(
+            NodeId::ROOT,
+            sender(&log, CastKind::Uni(NodeId(5)), control_body(NodeId::ROOT)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, NodeId(5));
+        // 3 hops of pure delay.
+        assert_eq!(
+            entries[0].1,
+            SimTime::ZERO + NetConfig::default().link_delay * 3
+        );
+        assert_eq!(entries[0].2.cast, CastClass::Unicast);
+    }
+
+    #[test]
+    fn unicast_between_receivers_crosses_lca() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.attach_agent(
+            NodeId(6),
+            sender(&log, CastKind::Uni(NodeId(4)), control_body(NodeId(6))),
+        );
+        sim.attach_agent(NodeId(4), recorder(&log));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        // n6 -> n0 -> n1 -> n3 -> n4: 4 hops.
+        assert_eq!(
+            entries[0].1,
+            SimTime::ZERO + NetConfig::default().link_delay * 4
+        );
+    }
+
+    #[test]
+    fn trace_loss_prunes_subtree() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        // Drop seq 0 on the link into n3: receivers 4 and 5 miss it.
+        sim.set_loss(Box::new(TraceLoss::new([(LinkId(NodeId(3)), SeqNo(0))])));
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let mut who: Vec<NodeId> = log.borrow().iter().map(|e| e.0).collect();
+        who.sort_unstable();
+        assert_eq!(who, vec![NodeId(2), NodeId(6)]);
+    }
+
+    #[test]
+    fn subcast_reaches_only_subtree() {
+        let log: Log = Default::default();
+        let cfg = NetConfig::default().with_router_assist(true);
+        let mut sim = Simulator::new(sample_tree(), cfg);
+        // n6 subcasts via router n3: only n4 and n5 hear it.
+        for &r in &[NodeId(2), NodeId(4), NodeId(5)] {
+            sim.attach_agent(r, recorder(&log));
+        }
+        sim.attach_agent(
+            NodeId(6),
+            sender(&log, CastKind::Sub(NodeId(3)), data_body(7)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        let mut who: Vec<NodeId> = entries.iter().map(|e| e.0).collect();
+        who.sort_unstable();
+        assert_eq!(who, vec![NodeId(4), NodeId(5)]);
+        for e in entries.iter() {
+            assert_eq!(e.3.turning_point, Some(NodeId(3)));
+            assert_eq!(e.2.cast, CastClass::Subcast);
+        }
+    }
+
+    #[test]
+    fn turning_point_annotation_on_multicast() {
+        let log: Log = Default::default();
+        let cfg = NetConfig::default().with_router_assist(true);
+        // n4 is the sender; everyone else records the turning point.
+        let mut sim2 = Simulator::new(sample_tree(), cfg);
+        sim2.attach_agent(NodeId(4), sender(&log, CastKind::Multi, data_body(1)));
+        for &r in &[NodeId(2), NodeId(5), NodeId(6)] {
+            sim2.attach_agent(r, recorder(&log));
+        }
+        sim2.attach_agent(NodeId::ROOT, recorder(&log));
+        sim2.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        for (node, _, _, meta) in entries.iter() {
+            // A copy that only traveled upward (towards an ancestor of the
+            // sender) never turned, so it carries no turning point; all
+            // other copies turned at the LCA of sender and recipient.
+            let expected = if sim2.tree().is_ancestor_or_self(*node, NodeId(4)) {
+                None
+            } else {
+                Some(sim2.tree().lca(NodeId(4), *node))
+            };
+            assert_eq!(
+                meta.turning_point, expected,
+                "turning point for delivery at {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn turning_point_hidden_without_router_assist() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        for e in log.borrow().iter() {
+            assert_eq!(e.3.turning_point, None);
+        }
+    }
+
+    #[test]
+    fn link_serialization_queues_back_to_back_sends() {
+        // Two payload packets sent at the same instant over the same first
+        // link must arrive one transmission time apart.
+        struct DoubleSender;
+        impl Agent for DoubleSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.multicast(data_body(0));
+                ctx.multicast(data_body(1));
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+            fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+        }
+        let log: Log = Default::default();
+        let cfg = NetConfig::default();
+        let mut sim = Simulator::new(sample_tree(), cfg);
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(NodeId::ROOT, Box::new(DoubleSender));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        let t0: Vec<SimTime> = entries
+            .iter()
+            .filter(|e| e.0 == NodeId(6) )
+            .map(|e| e.1)
+            .collect();
+        assert_eq!(t0.len(), 2);
+        let tx = cfg.transmission_time(cfg.payload_bytes);
+        assert_eq!(t0[1] - t0[0], tx);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancellation_works() {
+        struct TimerAgent {
+            fired: StdRc<RefCell<Vec<u64>>>,
+            to_cancel: Option<TimerToken>,
+        }
+        impl Agent for TimerAgent {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let _t1 = ctx.set_timer(SimDuration::from_millis(10));
+                let t2 = ctx.set_timer(SimDuration::from_millis(20));
+                let _t3 = ctx.set_timer(SimDuration::from_millis(30));
+                ctx.cancel_timer(t2);
+                self.to_cancel = Some(t2);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+                assert_ne!(Some(token), self.to_cancel, "cancelled timer fired");
+                self.fired
+                    .borrow_mut()
+                    .push(ctx.now().as_nanos() / 1_000_000);
+            }
+        }
+        let fired = StdRc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.attach_agent(
+            NodeId(2),
+            Box::new(TimerAgent {
+                fired: StdRc::clone(&fired),
+                to_cancel: None,
+            }),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(*fired.borrow(), vec![10, 30]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        let t = SimTime::ZERO + SimDuration::from_secs(3);
+        sim.run_until(t);
+        assert_eq!(sim.now(), t);
+        assert_eq!(sim.events_processed(), 0);
+    }
+
+    #[test]
+    fn deterministic_event_counts_across_runs() {
+        let run = || {
+            let log: Log = Default::default();
+            let mut sim = Simulator::new(sample_tree(), NetConfig::default().with_seed(5));
+            attach_all_receivers(&mut sim, &log);
+            sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            let deliveries: Vec<_> = log.borrow().iter().map(|e| (e.0, e.1)).collect();
+            (sim.events_processed(), deliveries)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inject_and_step_drive_agents_directly() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.attach_agent(NodeId(2), recorder(&log));
+        // Start events are pending; drain them stepwise.
+        assert!(sim.next_event_at().is_some());
+        while sim.step() {}
+        assert!(!sim.step(), "queue drained");
+        let pkt = Packet {
+            origin: NodeId::ROOT,
+            cast: CastClass::Multicast,
+            body: data_body(3),
+        };
+        sim.inject_packet(NodeId(2), NodeId(1), pkt, Some(NodeId(1)));
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, NodeId(2));
+        // Router assist is off, so the injected turning point is hidden.
+        assert_eq!(entries[0].3.turning_point, None);
+        assert_eq!(entries[0].3.prev_hop, NodeId(1));
+    }
+
+    #[test]
+    fn detached_agent_receives_nothing() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        attach_all_receivers(&mut sim, &log);
+        let gone = sim.detach_agent(NodeId(4));
+        assert!(gone.is_some());
+        assert!(sim.agent(NodeId(4)).is_none());
+        sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let mut who: Vec<NodeId> = log.borrow().iter().map(|e| e.0).collect();
+        who.sort_unstable();
+        // n4 is gone but its siblings still hear everything.
+        assert_eq!(who, vec![NodeId(2), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn per_link_delay_override_shifts_arrival() {
+        let log: Log = Default::default();
+        let cfg = NetConfig::default();
+        let mut sim = Simulator::new(sample_tree(), cfg);
+        // Make the last hop to n6 slow.
+        sim.set_link_delay(LinkId(NodeId(6)), SimDuration::from_millis(200));
+        sim.attach_agent(NodeId(6), recorder(&log));
+        sim.attach_agent(
+            NodeId::ROOT,
+            sender(&log, CastKind::Multi, control_body(NodeId::ROOT)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1, SimTime::ZERO + SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn jitter_can_reorder_control_packets() {
+        // Two control packets sent back to back over the same path: with
+        // zero jitter order is preserved; with large jitter, some seed
+        // reorders them.
+        struct TwoSender;
+        impl Agent for TwoSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.multicast(PacketBody::session(ctx.me(), ctx.now(), Some(SeqNo(1)), vec![]));
+                ctx.multicast(PacketBody::session(ctx.me(), ctx.now(), Some(SeqNo(2)), vec![]));
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+            fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+        }
+        let order_of = |jitter_ms: u64, seed: u64| -> Vec<u64> {
+            let log: Log = Default::default();
+            let cfg = NetConfig::default()
+                .with_jitter(SimDuration::from_millis(jitter_ms))
+                .with_seed(seed);
+            let mut sim = Simulator::new(sample_tree(), cfg);
+            sim.attach_agent(NodeId(4), recorder(&log));
+            sim.attach_agent(NodeId::ROOT, Box::new(TwoSender));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            let seqs: Vec<u64> = log
+                .borrow()
+                .iter()
+                .map(|e| match &e.2.body {
+                    PacketBody::Session(s) => s.highest_seq.unwrap().value(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            seqs
+        };
+        assert_eq!(order_of(0, 1), vec![1, 2], "FIFO without jitter");
+        let reordered = (0..50).any(|seed| order_of(100, seed) == vec![2, 1]);
+        assert!(reordered, "large jitter should reorder under some seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an agent")]
+    fn double_attach_rejected() {
+        let log: Log = Default::default();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.attach_agent(NodeId(2), recorder(&log));
+        sim.attach_agent(NodeId(2), recorder(&log));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot unicast to self")]
+    fn self_unicast_rejected() {
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.send_unicast(NodeId(2), NodeId(2), control_body(NodeId(2)));
+    }
+}

@@ -1,0 +1,313 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use topology::{LinkId, NodeId};
+
+use crate::{Direction, Packet, PacketBody, SimObserver, SimTime};
+
+/// What happened, as recorded by an [`EventTracer`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEventKind {
+    /// An agent sent a packet.
+    Send {
+        /// The sending node.
+        node: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A packet crossed a link.
+    Crossing {
+        /// The link crossed.
+        link: LinkId,
+        /// Direction of travel.
+        dir: Direction,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A packet was dropped in transit.
+    Drop {
+        /// The lossy link.
+        link: LinkId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A packet was delivered to an agent.
+    Delivery {
+        /// The receiving node.
+        node: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+}
+
+/// One recorded simulation event.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}  ", self.at)?;
+        match &self.kind {
+            TraceEventKind::Send { node, packet } => {
+                write!(f, "{node} send {packet}")
+            }
+            TraceEventKind::Crossing { link, dir, packet } => {
+                write!(f, "{link} {dir} cross {packet}")
+            }
+            TraceEventKind::Drop { link, packet } => {
+                write!(f, "{link} DROP {packet}")
+            }
+            TraceEventKind::Delivery { node, packet } => {
+                write!(f, "{node} deliver {packet}")
+            }
+        }
+    }
+}
+
+/// A bounded, optionally filtered event recorder — the protocol-debugging
+/// observer. Keeps the most recent `capacity` events (older ones are
+/// counted, not kept).
+///
+/// # Examples
+///
+/// ```
+/// use netsim::{EventTracer, NetConfig, Simulator};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// # use topology::TreeBuilder;
+///
+/// # fn main() -> Result<(), topology::TreeError> {
+/// # let mut b = TreeBuilder::new();
+/// # let r = b.add_router(b.root());
+/// # b.add_receiver(r);
+/// # let tree = b.build()?;
+/// let tracer = Rc::new(RefCell::new(EventTracer::new(1024).recovery_only(true)));
+/// let mut sim = Simulator::new(tree, NetConfig::default());
+/// sim.set_observer(Box::new(Rc::clone(&tracer)));
+/// // ... run ...
+/// println!("{}", tracer.borrow().render());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventTracer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    overflowed: u64,
+    recovery_only: bool,
+}
+
+impl EventTracer {
+    /// Creates a tracer keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        EventTracer {
+            capacity,
+            events: VecDeque::new(),
+            overflowed: 0,
+            recovery_only: false,
+        }
+    }
+
+    /// When set, original data and session messages are not recorded —
+    /// only recovery traffic (requests and replies of either kind).
+    pub fn recovery_only(mut self, enabled: bool) -> Self {
+        self.recovery_only = enabled;
+        self
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+
+    /// Renders the buffer, one event per line.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if self.overflowed > 0 {
+            let _ = writeln!(out, "... {} earlier events dropped ...", self.overflowed);
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+
+    fn push(&mut self, at: SimTime, kind: TraceEventKind) {
+        let packet = match &kind {
+            TraceEventKind::Send { packet, .. }
+            | TraceEventKind::Crossing { packet, .. }
+            | TraceEventKind::Drop { packet, .. }
+            | TraceEventKind::Delivery { packet, .. } => packet,
+        };
+        if self.recovery_only
+            && matches!(
+                packet.body,
+                PacketBody::Data { .. } | PacketBody::Session(_)
+            )
+        {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.overflowed += 1;
+        }
+        self.events.push_back(TraceEvent { at, kind });
+    }
+}
+
+impl SimObserver for EventTracer {
+    fn on_send(&mut self, now: SimTime, node: NodeId, packet: &Packet) {
+        self.push(
+            now,
+            TraceEventKind::Send {
+                node,
+                packet: packet.clone(),
+            },
+        );
+    }
+
+    fn on_link_crossing(&mut self, now: SimTime, link: LinkId, dir: Direction, packet: &Packet) {
+        self.push(
+            now,
+            TraceEventKind::Crossing {
+                link,
+                dir,
+                packet: packet.clone(),
+            },
+        );
+    }
+
+    fn on_drop(&mut self, now: SimTime, link: LinkId, packet: &Packet) {
+        self.push(
+            now,
+            TraceEventKind::Drop {
+                link,
+                packet: packet.clone(),
+            },
+        );
+    }
+
+    fn on_delivery(&mut self, now: SimTime, node: NodeId, packet: &Packet) {
+        self.push(
+            now,
+            TraceEventKind::Delivery {
+                node,
+                packet: packet.clone(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CastClass, PacketId, SeqNo};
+
+    fn data(seq: u64) -> Packet {
+        Packet {
+            origin: NodeId::ROOT,
+            cast: CastClass::Multicast,
+            body: PacketBody::Data {
+                id: PacketId {
+                    source: NodeId::ROOT,
+                    seq: SeqNo(seq),
+                },
+            },
+        }
+    }
+
+    fn request(seq: u64) -> Packet {
+        Packet {
+            origin: NodeId(2),
+            cast: CastClass::Multicast,
+            body: PacketBody::Request {
+                id: PacketId {
+                    source: NodeId::ROOT,
+                    seq: SeqNo(seq),
+                },
+                requestor: NodeId(2),
+                dist_req_src: crate::SimDuration::ZERO,
+            },
+        }
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = EventTracer::new(8);
+        t.on_send(SimTime::ZERO, NodeId(2), &request(5));
+        t.on_delivery(
+            SimTime::from_secs_f64(0.1),
+            NodeId(3),
+            &request(5),
+        );
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains("send"));
+        assert!(s.contains("deliver"));
+        assert!(s.contains("request n0#5"));
+    }
+
+    #[test]
+    fn bounded_with_overflow_count() {
+        let mut t = EventTracer::new(3);
+        for i in 0..10 {
+            t.on_send(SimTime::ZERO, NodeId(2), &request(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.overflowed(), 7);
+        assert!(t.render().contains("7 earlier events dropped"));
+        // Oldest kept is #7.
+        assert!(t.render().contains("n0#7"));
+    }
+
+    #[test]
+    fn recovery_only_skips_data_and_sessions() {
+        let mut t = EventTracer::new(8).recovery_only(true);
+        t.on_send(SimTime::ZERO, NodeId::ROOT, &data(0));
+        t.on_send(
+            SimTime::ZERO,
+            NodeId(2),
+            &Packet {
+                origin: NodeId(2),
+                cast: CastClass::Multicast,
+                body: PacketBody::session(NodeId(2), SimTime::ZERO, None, Vec::new()),
+            },
+        );
+        assert!(t.is_empty());
+        t.on_send(SimTime::ZERO, NodeId(2), &request(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        EventTracer::new(0);
+    }
+}

@@ -1,0 +1,119 @@
+use netsim::SimDuration;
+
+/// SRM scheduling parameters (paper §2) plus session-protocol settings.
+///
+/// Requests are delayed uniformly within `[C1·d̂hs, (C1+C2)·d̂hs]` where
+/// `d̂hs` is the requestor's distance estimate to the source; replies within
+/// `[D1·d̂hh', (D1+D2)·d̂hh']` where `d̂hh'` is the replier's distance
+/// estimate to the requestor. `C3` and `D3` scale the back-off and reply
+/// abstinence periods. Larger values suppress more duplicates at the price
+/// of longer recovery latencies — the trade-off CESRM's expedited scheme
+/// sidesteps.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SrmParams {
+    /// Deterministic request-suppression weight, `C1`.
+    pub c1: f64,
+    /// Probabilistic request-suppression weight, `C2`.
+    pub c2: f64,
+    /// Back-off abstinence weight, `C3` (this reproduction's
+    /// parameterized variant of SRM's "half the time to the next request").
+    pub c3: f64,
+    /// Deterministic reply-suppression weight, `D1`.
+    pub d1: f64,
+    /// Probabilistic reply-suppression weight, `D2`.
+    pub d2: f64,
+    /// Reply abstinence weight, `D3`.
+    pub d3: f64,
+    /// Session message period.
+    pub session_period: SimDuration,
+    /// Distance assumed towards hosts not yet heard from in session
+    /// exchange. With the paper's lossless, warmed-up session exchange this
+    /// is never used; it exists so the protocol stays live under partial
+    /// knowledge.
+    pub default_distance: SimDuration,
+}
+
+impl SrmParams {
+    /// The parameter settings used throughout the paper's simulations
+    /// (§4.3): `C1 = C2 = 2`, `C3 = 1.5`, `D1 = D2 = 1`, `D3 = 1.5`, 1 s
+    /// session period.
+    pub fn paper_default() -> Self {
+        SrmParams {
+            c1: 2.0,
+            c2: 2.0,
+            c3: 1.5,
+            d1: 1.0,
+            d2: 1.0,
+            d3: 1.5,
+            session_period: SimDuration::from_secs(1),
+            default_distance: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Validates that all weights are non-negative and the periods are
+    /// positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values; call at configuration boundaries.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("C1", self.c1),
+            ("C2", self.c2),
+            ("C3", self.c3),
+            ("D1", self.d1),
+            ("D2", self.d2),
+            ("D3", self.d3),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative");
+        }
+        assert!(
+            !self.session_period.is_zero(),
+            "session period must be positive"
+        );
+    }
+}
+
+impl Default for SrmParams {
+    fn default() -> Self {
+        SrmParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = SrmParams::default();
+        assert_eq!(p.c1, 2.0);
+        assert_eq!(p.c2, 2.0);
+        assert_eq!(p.c3, 1.5);
+        assert_eq!(p.d1, 1.0);
+        assert_eq!(p.d2, 1.0);
+        assert_eq!(p.d3, 1.5);
+        assert_eq!(p.session_period, SimDuration::from_secs(1));
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "C2 must be non-negative")]
+    fn negative_weight_rejected() {
+        let p = SrmParams {
+            c2: -1.0,
+            ..SrmParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "session period must be positive")]
+    fn zero_period_rejected() {
+        let p = SrmParams {
+            session_period: SimDuration::ZERO,
+            ..SrmParams::default()
+        };
+        p.validate();
+    }
+}

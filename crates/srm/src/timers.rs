@@ -1,0 +1,251 @@
+use netsim::SimDuration;
+
+use crate::SrmParams;
+
+/// Strategy choosing SRM's request/reply suppression windows.
+///
+/// The paper (and its reported simulations) uses fixed scheduling weights
+/// (`C1, C2, D1, D2`); Floyd et al.'s SRM additionally describes *adaptive*
+/// timers that tune the weights to the observed number of duplicates and
+/// recovery delay. [`FixedTimers`] implements the former; [`AdaptiveTimers`]
+/// an adaptation in that spirit, used for ablations.
+///
+/// `d` is the relevant distance estimate: to the source for requests, to
+/// the requestor for replies. The window is `(lo, width)`: the timer is
+/// drawn uniformly from `[lo, lo + width]`. The round scaling `2^k` is
+/// applied by the caller.
+pub trait TimerPolicy {
+    /// The request window for back-off round `k` at distance `d` (without
+    /// the `2^k` scaling, which the engine applies).
+    fn request_window(&self, d: SimDuration) -> (SimDuration, SimDuration);
+
+    /// The reply window at distance `d`.
+    fn reply_window(&self, d: SimDuration) -> (SimDuration, SimDuration);
+
+    /// A request duplicating one of ours was heard (we had requested the
+    /// same packet in the current round).
+    fn on_duplicate_request(&mut self) {}
+
+    /// A reply duplicating one of ours was heard (we had replied to the
+    /// same packet within its abstinence period).
+    fn on_duplicate_reply(&mut self) {}
+
+    /// Our own request fired after waiting `delay_over_d` units of the
+    /// distance estimate (i.e. the realized position in the window).
+    fn on_request_sent(&mut self, _delay_over_d: f64) {}
+
+    /// Current effective weights `(c1, c2, d1, d2)`, for inspection.
+    fn weights(&self) -> (f64, f64, f64, f64);
+}
+
+/// The paper's fixed scheduling weights.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedTimers {
+    params: SrmParams,
+}
+
+impl FixedTimers {
+    /// Uses the `C1, C2, D1, D2` of `params`.
+    pub fn new(params: SrmParams) -> Self {
+        FixedTimers { params }
+    }
+}
+
+impl TimerPolicy for FixedTimers {
+    fn request_window(&self, d: SimDuration) -> (SimDuration, SimDuration) {
+        (d.mul_f64(self.params.c1), d.mul_f64(self.params.c2))
+    }
+
+    fn reply_window(&self, d: SimDuration) -> (SimDuration, SimDuration) {
+        (d.mul_f64(self.params.d1), d.mul_f64(self.params.d2))
+    }
+
+    fn weights(&self) -> (f64, f64, f64, f64) {
+        (self.params.c1, self.params.c2, self.params.d1, self.params.d2)
+    }
+}
+
+/// Adaptive scheduling weights, in the spirit of the adaptive timers of
+/// Floyd et al.: expand the windows when duplicates are being heard (too
+/// little suppression), shrink them when duplicates are rare and our own
+/// requests fire late (latency paid for nothing).
+///
+/// This is a faithful-in-spirit, explicitly *not* line-by-line, port of the
+/// published adaptation; the exact constants below are this crate's.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveTimers {
+    c1: f64,
+    c2: f64,
+    d1: f64,
+    d2: f64,
+    /// EWMA of duplicate requests per adaptation window.
+    dup_req_avg: f64,
+    /// EWMA of duplicate replies.
+    dup_reply_avg: f64,
+    /// EWMA of the realized request delay in units of `d`.
+    req_delay_avg: f64,
+    bounds: Bounds,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bounds {
+    c_lo: f64,
+    c_hi: f64,
+    d_lo: f64,
+    d_hi: f64,
+}
+
+/// EWMA smoothing factor for the request-delay average.
+const ALPHA: f64 = 0.25;
+/// Recent-duplicate mass above which windows grow.
+const DUP_TOLERANCE: f64 = 2.0;
+/// Additive expansion step.
+const GROW: f64 = 0.25;
+/// Additive shrink step.
+const SHRINK: f64 = 0.1;
+
+impl AdaptiveTimers {
+    /// Starts from the weights in `params` and adapts within
+    /// `[0.5, 3× the initial weight]` (requests) and `[0.25, 3×]`
+    /// (replies).
+    pub fn new(params: SrmParams) -> Self {
+        AdaptiveTimers {
+            c1: params.c1,
+            c2: params.c2,
+            d1: params.d1,
+            d2: params.d2,
+            dup_req_avg: 0.0,
+            dup_reply_avg: 0.0,
+            req_delay_avg: params.c1 + params.c2 / 2.0,
+            bounds: Bounds {
+                c_lo: 0.5,
+                c_hi: (params.c1 + params.c2).max(1.0) * 3.0,
+                d_lo: 0.25,
+                d_hi: (params.d1 + params.d2).max(1.0) * 3.0,
+            },
+        }
+    }
+
+    fn adapt(&mut self) {
+        let b = self.bounds;
+        if self.dup_req_avg > DUP_TOLERANCE {
+            // Suppression is failing: spread requests wider and push the
+            // window start out; the acted-upon evidence is consumed.
+            self.c2 = (self.c2 + GROW).min(b.c_hi);
+            self.c1 = (self.c1 + GROW / 2.0).min(b.c_hi);
+            self.dup_req_avg /= 2.0;
+        } else if self.req_delay_avg > self.c1 + self.c2 / 4.0 {
+            // Few duplicates and our requests fire late in the window:
+            // recover faster next time.
+            self.c1 = (self.c1 - SHRINK).max(b.c_lo);
+            self.c2 = (self.c2 - SHRINK).max(b.c_lo);
+        }
+        if self.dup_reply_avg > DUP_TOLERANCE {
+            self.d2 = (self.d2 + GROW).min(b.d_hi);
+            self.d1 = (self.d1 + GROW / 2.0).min(b.d_hi);
+            self.dup_reply_avg /= 2.0;
+        } else if self.dup_reply_avg < 0.5 {
+            // Recoveries complete without duplicate replies: tighten.
+            self.d1 = (self.d1 - SHRINK / 2.0).max(b.d_lo);
+            self.d2 = (self.d2 - SHRINK / 2.0).max(b.d_lo);
+        }
+    }
+}
+
+impl TimerPolicy for AdaptiveTimers {
+    fn request_window(&self, d: SimDuration) -> (SimDuration, SimDuration) {
+        (d.mul_f64(self.c1), d.mul_f64(self.c2))
+    }
+
+    fn reply_window(&self, d: SimDuration) -> (SimDuration, SimDuration) {
+        (d.mul_f64(self.d1), d.mul_f64(self.d2))
+    }
+
+    fn on_duplicate_request(&mut self) {
+        self.dup_req_avg += 1.0;
+        self.adapt();
+    }
+
+    fn on_duplicate_reply(&mut self) {
+        self.dup_reply_avg += 1.0;
+        self.adapt();
+    }
+
+    fn on_request_sent(&mut self, delay_over_d: f64) {
+        self.req_delay_avg = self.req_delay_avg * (1.0 - ALPHA) + ALPHA * delay_over_d;
+        // A recovery round completed: duplicate evidence ages out.
+        self.dup_req_avg *= 0.8;
+        self.dup_reply_avg *= 0.8;
+        self.adapt();
+    }
+
+    fn weights(&self) -> (f64, f64, f64, f64) {
+        (self.c1, self.c2, self.d1, self.d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_windows_match_params() {
+        let p = SrmParams::paper_default();
+        let f = FixedTimers::new(p);
+        let d = SimDuration::from_millis(60);
+        let (lo, width) = f.request_window(d);
+        assert_eq!(lo, SimDuration::from_millis(120)); // C1 = 2
+        assert_eq!(width, SimDuration::from_millis(120)); // C2 = 2
+        let (rlo, rwidth) = f.reply_window(d);
+        assert_eq!(rlo, SimDuration::from_millis(60)); // D1 = 1
+        assert_eq!(rwidth, SimDuration::from_millis(60)); // D2 = 1
+        assert_eq!(f.weights(), (2.0, 2.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn duplicates_grow_windows() {
+        let mut a = AdaptiveTimers::new(SrmParams::paper_default());
+        let before = a.weights();
+        for _ in 0..20 {
+            a.on_duplicate_request();
+        }
+        let after = a.weights();
+        assert!(after.0 > before.0 || after.1 > before.1, "request weights should grow");
+        for _ in 0..20 {
+            a.on_duplicate_reply();
+        }
+        let final_w = a.weights();
+        assert!(final_w.2 >= after.2 && final_w.3 > after.3, "reply weights should grow");
+    }
+
+    #[test]
+    fn quiet_late_requests_shrink_windows() {
+        let mut a = AdaptiveTimers::new(SrmParams::paper_default());
+        let before = a.weights();
+        // No duplicates, but our requests keep firing late in the window.
+        for _ in 0..50 {
+            a.on_request_sent(before.0 + before.1);
+        }
+        let after = a.weights();
+        assert!(after.0 < before.0, "C1 should shrink: {after:?}");
+        assert!(after.1 < before.1, "C2 should shrink: {after:?}");
+    }
+
+    #[test]
+    fn adaptation_respects_bounds() {
+        let mut a = AdaptiveTimers::new(SrmParams::paper_default());
+        for _ in 0..10_000 {
+            a.on_duplicate_request();
+            a.on_duplicate_reply();
+        }
+        let (c1, c2, d1, d2) = a.weights();
+        assert!(c1 <= 12.0 && c2 <= 12.0, "request weights bounded");
+        assert!(d1 <= 6.0 && d2 <= 6.0, "reply weights bounded");
+        let mut b = AdaptiveTimers::new(SrmParams::paper_default());
+        for _ in 0..10_000 {
+            b.on_request_sent(100.0);
+        }
+        let (c1, c2, ..) = b.weights();
+        assert!(c1 >= 0.5 && c2 >= 0.5, "request weights floored");
+    }
+}

@@ -1,0 +1,135 @@
+use std::collections::BTreeSet;
+
+/// The set of received sequence numbers, compacted as a contiguous floor
+/// plus a sparse tail.
+///
+/// Long transmissions (Table 1 goes up to ~149k packets) would otherwise
+/// accumulate one hash entry per packet per receiver; reception is almost
+/// entirely contiguous, so everything below `floor` collapses into a single
+/// counter and only the out-of-order tail is stored explicitly.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct ReceivedSet {
+    /// Every sequence number `< floor` has been received.
+    floor: u64,
+    /// Received sequence numbers `>= floor` (sparse, holes below them).
+    above: BTreeSet<u64>,
+}
+
+impl ReceivedSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ReceivedSet::default()
+    }
+
+    /// `true` iff `seq` has been received.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq < self.floor || self.above.contains(&seq)
+    }
+
+    /// Inserts `seq`; returns `true` iff it was new. Advances the floor over
+    /// any now-contiguous run.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.floor {
+            return false;
+        }
+        if !self.above.insert(seq) {
+            return false;
+        }
+        while self.above.remove(&self.floor) {
+            self.floor += 1;
+        }
+        true
+    }
+
+    /// The highest received sequence number, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.above
+            .iter()
+            .next_back()
+            .copied()
+            .or(self.floor.checked_sub(1))
+    }
+
+    /// Number of sparse (not yet compacted) entries — a memory gauge.
+    #[cfg(test)]
+    pub fn sparse_len(&self) -> usize {
+        self.above.len()
+    }
+
+    /// The contiguous floor — every sequence below it is received.
+    #[cfg(test)]
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_insertion_compacts_to_floor() {
+        let mut s = ReceivedSet::new();
+        for i in 0..1000 {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.floor(), 1000);
+        assert_eq!(s.sparse_len(), 0);
+        assert!(s.contains(0) && s.contains(999));
+        assert!(!s.contains(1000));
+        assert_eq!(s.max(), Some(999));
+    }
+
+    #[test]
+    fn holes_stay_sparse_until_filled() {
+        let mut s = ReceivedSet::new();
+        s.insert(0);
+        s.insert(2);
+        s.insert(3);
+        assert_eq!(s.floor(), 1);
+        assert_eq!(s.sparse_len(), 2);
+        assert!(!s.contains(1));
+        assert_eq!(s.max(), Some(3));
+        // Filling the hole collapses everything.
+        assert!(s.insert(1));
+        assert_eq!(s.floor(), 4);
+        assert_eq!(s.sparse_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_rejected() {
+        let mut s = ReceivedSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        s.insert(0);
+        s.insert(1);
+        s.insert(2);
+        s.insert(3);
+        s.insert(4);
+        assert_eq!(s.floor(), 6);
+        assert!(!s.insert(2), "below the floor counts as present");
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = ReceivedSet::new();
+        assert!(!s.contains(0));
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut s = ReceivedSet::new();
+        let mut model = BTreeSet::new();
+        for _ in 0..5000 {
+            let v = rng.gen_range(0..600u64);
+            assert_eq!(s.insert(v), model.insert(v), "insert({v})");
+        }
+        for v in 0..600 {
+            assert_eq!(s.contains(v), model.contains(&v), "contains({v})");
+        }
+        assert_eq!(s.max(), model.iter().next_back().copied());
+    }
+}

@@ -1,0 +1,137 @@
+use crate::{MulticastTree, NodeId, NodeKind, TreeError};
+
+/// Incremental construction of a [`MulticastTree`].
+///
+/// The builder starts with the source as node 0; routers and receivers are
+/// attached to existing nodes. Structural invariants (routers interior,
+/// receivers leaves, at least one receiver) are checked by [`build`].
+///
+/// # Examples
+///
+/// ```
+/// use topology::TreeBuilder;
+///
+/// # fn main() -> Result<(), topology::TreeError> {
+/// let mut b = TreeBuilder::new();
+/// let router = b.add_router(b.root());
+/// b.add_receiver(router);
+/// b.add_receiver(router);
+/// let tree = b.build()?;
+/// assert_eq!(tree.receivers().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`build`]: TreeBuilder::build
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    parent: Vec<Option<NodeId>>,
+    kind: Vec<NodeKind>,
+}
+
+impl TreeBuilder {
+    /// Creates a builder containing only the source root.
+    pub fn new() -> Self {
+        TreeBuilder {
+            parent: vec![None],
+            kind: vec![NodeKind::Source],
+        }
+    }
+
+    /// The id of the source root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of nodes added so far (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff only the root exists. Always `false` in practice, provided
+    /// for [`len`](Self::len) symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Attaches a new router under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an existing node id.
+    pub fn add_router(&mut self, parent: NodeId) -> NodeId {
+        self.add(parent, NodeKind::Router)
+    }
+
+    /// Attaches a new receiver leaf under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an existing node id.
+    pub fn add_receiver(&mut self, parent: NodeId) -> NodeId {
+        self.add(parent, NodeKind::Receiver)
+    }
+
+    fn add(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        assert!(
+            parent.index() < self.parent.len(),
+            "parent {parent} does not exist"
+        );
+        let id = NodeId(self.parent.len() as u32);
+        self.parent.push(Some(parent));
+        self.kind.push(kind);
+        id
+    }
+
+    /// Validates the accumulated structure and produces the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError`] when a router was left childless, a receiver was
+    /// used as a parent, or no receiver was added.
+    pub fn build(self) -> Result<MulticastTree, TreeError> {
+        MulticastTree::from_parents(self.parent, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_simple_tree() {
+        let mut b = TreeBuilder::new();
+        assert_eq!(b.len(), 1);
+        let r = b.add_router(b.root());
+        let a = b.add_receiver(r);
+        let t = b.build().unwrap();
+        assert_eq!(t.receivers(), &[a]);
+        assert_eq!(t.parent(a), Some(r));
+    }
+
+    #[test]
+    fn detects_childless_router_at_build() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_router(b.root());
+        b.add_receiver(b.root());
+        assert_eq!(b.build(), Err(TreeError::ChildlessRouter(r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn panics_on_unknown_parent() {
+        let mut b = TreeBuilder::new();
+        b.add_receiver(NodeId(42));
+    }
+
+    #[test]
+    fn receiver_as_parent_fails_at_build() {
+        let mut b = TreeBuilder::new();
+        let leaf = b.add_receiver(b.root());
+        b.add_receiver(leaf);
+        assert_eq!(b.build(), Err(TreeError::ReceiverWithChildren(leaf)));
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors arising while constructing or validating a multicast tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeError {
+    /// A router has no children; routers must be interior nodes.
+    ChildlessRouter(NodeId),
+    /// A receiver was used as a parent; receivers must be leaves.
+    ReceiverWithChildren(NodeId),
+    /// A parent reference points to a node that does not exist.
+    UnknownParent(NodeId),
+    /// The tree has no receivers, so no transmission can be observed.
+    NoReceivers,
+    /// A parent vector encodes a cycle or a forest rather than a single
+    /// rooted tree.
+    NotATree,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::ChildlessRouter(n) => {
+                write!(f, "router {n} has no children; routers must be interior nodes")
+            }
+            TreeError::ReceiverWithChildren(n) => {
+                write!(f, "receiver {n} has children; receivers must be leaves")
+            }
+            TreeError::UnknownParent(n) => write!(f, "parent {n} does not exist"),
+            TreeError::NoReceivers => f.write_str("tree has no receivers"),
+            TreeError::NotATree => f.write_str("node relation is not a single rooted tree"),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let msg = TreeError::ChildlessRouter(NodeId(4)).to_string();
+        assert!(msg.contains("n4"));
+        assert!(msg.starts_with("router"));
+        assert_eq!(TreeError::NoReceivers.to_string(), "tree has no receivers");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(TreeError::NotATree);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,112 @@
+use std::fmt;
+
+/// Identifier of a node in a [`MulticastTree`](crate::MulticastTree).
+///
+/// Node ids are dense indices assigned in creation order; the root (source)
+/// is always `NodeId(0)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id of the tree root, i.e. the transmission source.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Returns the id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of a directed link (edge) in a multicast tree.
+///
+/// Every non-root node has exactly one incoming link from its parent, so a
+/// link is named by the node it points *into*: the link `l_{n n'}` of the
+/// paper is `LinkId` carrying `n'`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub NodeId);
+
+impl LinkId {
+    /// The node this link points into (the child endpoint).
+    #[inline]
+    pub fn head(self) -> NodeId {
+        self.0
+    }
+
+    /// Returns the link's dense index (same space as the head node's index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l->{}", self.0)
+    }
+}
+
+/// The role a node plays in the multicast transmission.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// The transmission source; always the tree root.
+    Source,
+    /// An IP-multicast-capable router; always an interior node.
+    Router,
+    /// A receiver host; always a leaf.
+    Receiver,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Source => "source",
+            NodeKind::Router => "router",
+            NodeKind::Receiver => "receiver",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_zero() {
+        assert_eq!(NodeId::ROOT, NodeId(0));
+        assert_eq!(NodeId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(NodeId(3)).to_string(), "l->n3");
+        assert_eq!(NodeKind::Router.to_string(), "router");
+    }
+
+    #[test]
+    fn link_head_roundtrip() {
+        let l = LinkId(NodeId(7));
+        assert_eq!(l.head(), NodeId(7));
+        assert_eq!(l.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(NodeId(1)) < LinkId(NodeId(2)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Command-line utility for transmission traces.
+//!
+//! ```text
+//! trace-tool table                         # print the Table-1 specs
+//! trace-tool gen 4 [--scale F] [--seed N] [--out FILE]
+//! trace-tool stat FILE                     # metadata + locality stats
+//! ```
+//!
+//! `gen` synthesizes a Table-1 trace (1-based index) and writes it in the
+//! `cesrm-trace v1` text format; `stat` reads such a file back and prints
+//! its loss-locality statistics.
+
+use std::process::ExitCode;
+
+use traces::{table1, LossStats, Trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("table") => {
+            println!(
+                "{:>2} {:<10} {:>5} {:>5} {:>10} {:>8} {:>8}",
+                "#", "Name", "Rcvrs", "Depth", "Period(ms)", "Pkts", "Losses"
+            );
+            for s in table1() {
+                println!(
+                    "{:>2} {:<10} {:>5} {:>5} {:>10} {:>8} {:>8}",
+                    s.number, s.name, s.receivers, s.depth, s.period_ms, s.packets, s.losses
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") => gen(&args[1..]),
+        Some("stat") => stat(&args[1..]),
+        _ => {
+            eprintln!("usage: trace-tool table | gen <1..14> [--scale F] [--seed N] [--out FILE] | stat FILE");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn gen(args: &[String]) -> ExitCode {
+    let Some(number) = args.first().and_then(|v| v.parse::<usize>().ok()) else {
+        eprintln!("gen needs a Table-1 trace number (1..14)");
+        return ExitCode::from(2);
+    };
+    let specs = table1();
+    let Some(spec) = specs.iter().find(|s| s.number == number) else {
+        eprintln!("no Table-1 trace number {number}");
+        return ExitCode::from(2);
+    };
+    let mut scale = 1.0f64;
+    let mut seed = 0u64;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--out" => out = it.next().cloned(),
+            other => {
+                eprintln!("unknown gen option: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec.clone() };
+    eprintln!(
+        "generating {} at scale {scale} ({} packets, target {} losses)",
+        spec.name, spec.packets, spec.losses
+    );
+    let trace = spec.generate(seed);
+    let text = trace.to_text();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn stat(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("stat needs a trace file");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::from_text(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", trace.meta());
+    println!(
+        "tree: {} nodes, {} receivers, depth {}",
+        trace.tree().len(),
+        trace.tree().receivers().len(),
+        trace.tree().depth()
+    );
+    println!("{}", LossStats::from_trace(&trace, None));
+    for &r in trace.tree().receivers() {
+        println!(
+            "  {}: {} losses ({:.2}%)",
+            r,
+            trace.losses_of(r),
+            100.0 * trace.losses_of(r) as f64 / trace.packets() as f64
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,180 @@
+use rand::Rng;
+
+/// A Gilbert–Elliott two-state loss process: packets pass in the *good*
+/// state and drop in the *bad* state; state transitions happen between
+/// consecutive packets.
+///
+/// The stationary loss rate is `p_gb / (p_gb + p_bg)` and the mean loss
+/// burst length is `1 / p_bg`. Bursty link loss is the *temporal* half of
+/// the packet-loss locality that CESRM exploits (paper §1); the measurement
+/// studies the paper cites ([15, 16]) report exactly this burst structure in
+/// MBone transmissions.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use traces::GilbertElliott;
+///
+/// let mut chain = GilbertElliott::from_rate_and_burst(0.1, 4.0);
+/// assert!((chain.stationary_rate() - 0.1).abs() < 1e-12);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let losses = (0..10_000).filter(|_| chain.step(&mut rng)).count();
+/// assert!(losses > 500 && losses < 1500); // near the 10% stationary rate
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GilbertElliott {
+    /// Transition probability good → bad per step.
+    p_gb: f64,
+    /// Transition probability bad → good per step.
+    p_bg: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates a process from raw transition probabilities, starting in the
+    /// good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities lie in `[0, 1]`.
+    pub fn new(p_gb: f64, p_bg: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_gb), "p_gb must lie in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_bg), "p_bg must lie in [0, 1]");
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            in_bad: false,
+        }
+    }
+
+    /// Creates a process with the given stationary `loss_rate` and
+    /// `mean_burst` loss-burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= loss_rate < 1` and `mean_burst >= 1`, or if the
+    /// combination implies a good→bad probability above 1.
+    pub fn from_rate_and_burst(loss_rate: f64, mean_burst: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_rate),
+            "loss rate must lie in [0, 1)"
+        );
+        assert!(mean_burst >= 1.0, "mean burst length must be at least 1");
+        if loss_rate == 0.0 {
+            return GilbertElliott::new(0.0, 1.0);
+        }
+        let p_bg = 1.0 / mean_burst;
+        let p_gb = loss_rate * p_bg / (1.0 - loss_rate);
+        assert!(
+            p_gb <= 1.0,
+            "loss rate {loss_rate} with burst {mean_burst} is infeasible"
+        );
+        GilbertElliott::new(p_gb, p_bg)
+    }
+
+    /// The stationary loss rate `p_gb / (p_gb + p_bg)`.
+    pub fn stationary_rate(&self) -> f64 {
+        if self.p_gb == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+
+    /// The mean loss burst length `1 / p_bg`.
+    pub fn mean_burst(&self) -> f64 {
+        1.0 / self.p_bg
+    }
+
+    /// Advances one packet slot; returns `true` iff the packet is lost.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let p = if self.in_bad { self.p_bg } else { self.p_gb };
+        // Draw unconditionally so the consumed randomness per step is
+        // constant: calibration re-runs stay aligned across links.
+        let flip = rng.gen_bool(p.clamp(0.0, 1.0));
+        if flip {
+            self.in_bad = !self.in_bad;
+        }
+        self.in_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameterization_roundtrips() {
+        let g = GilbertElliott::from_rate_and_burst(0.1, 4.0);
+        assert!((g.stationary_rate() - 0.1).abs() < 1e-12);
+        assert!((g.mean_burst() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_never_drops() {
+        let mut g = GilbertElliott::from_rate_and_burst(0.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..10_000).all(|_| !g.step(&mut rng)));
+    }
+
+    #[test]
+    fn empirical_rate_matches_stationary() {
+        let mut g = GilbertElliott::from_rate_and_burst(0.15, 3.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let losses = (0..n).filter(|_| g.step(&mut rng)).count();
+        let rate = losses as f64 / n as f64;
+        assert!(
+            (rate - 0.15).abs() < 0.01,
+            "empirical rate {rate} too far from 0.15"
+        );
+    }
+
+    #[test]
+    fn empirical_burst_length_matches() {
+        let mut g = GilbertElliott::from_rate_and_burst(0.1, 5.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bursts = Vec::new();
+        let mut current = 0usize;
+        for _ in 0..300_000 {
+            if g.step(&mut rng) {
+                current += 1;
+            } else if current > 0 {
+                bursts.push(current);
+                current = 0;
+            }
+        }
+        let mean = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+        assert!((mean - 5.0).abs() < 0.25, "mean burst {mean} too far from 5");
+    }
+
+    #[test]
+    fn losses_are_bursty_relative_to_bernoulli() {
+        // P(loss | previous loss) should be far above the marginal rate.
+        let mut g = GilbertElliott::from_rate_and_burst(0.05, 4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq: Vec<bool> = (0..200_000).map(|_| g.step(&mut rng)).collect();
+        let pairs = seq.windows(2).filter(|w| w[0]).count();
+        let both = seq.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = both as f64 / pairs as f64;
+        assert!(
+            cond > 0.5,
+            "conditional loss probability {cond} not bursty (marginal 0.05)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn invalid_probability_rejected() {
+        GilbertElliott::new(1.5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn short_burst_rejected() {
+        GilbertElliott::from_rate_and_burst(0.1, 0.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! IP multicast transmission traces: model, synthetic generation and
+//! statistics.
+//!
+//! The CESRM paper (§4.1) evaluates against 14 IP multicast transmission
+//! traces collected by Yajnik et al. on the MBone: per-receiver binary loss
+//! sequences over a static source-rooted multicast tree. Those 1995/96 traces
+//! are no longer retrievable, so this crate provides a faithful synthetic
+//! substitute (see `DESIGN.md` §2):
+//!
+//! * [`Trace`] — the paper's trace representation: a tree plus the
+//!   `loss : R → (I → {0,1})` mapping as per-receiver bit sequences.
+//! * [`GilbertElliott`] — the 2-state bursty loss process driving each link;
+//!   bursts give the *temporal* loss locality, and placing losses on shared
+//!   tree links gives the *spatial* correlation that CESRM exploits.
+//! * [`generate`] — synthesizes a trace over a random tree, calibrating link
+//!   loss rates so the realized total loss count matches a target.
+//! * [`table1`] — the 14 trace specifications of the paper's Table 1
+//!   (receivers, depth, period, packet count, loss count).
+//! * [`LossStats`] — locality statistics (burst lengths, back-to-back loss
+//!   correlation, spatial sharing) used to verify the synthetic traces
+//!   exhibit the phenomenon the paper builds on.
+//!
+//! # Examples
+//!
+//! ```
+//! use traces::table1;
+//!
+//! let specs = table1();
+//! assert_eq!(specs.len(), 14);
+//! // Generate a scaled-down RFV960419 for a quick experiment.
+//! let trace = specs[0].scaled(0.01).generate(7);
+//! assert_eq!(trace.tree().receivers().len(), 12);
+//! assert!(trace.total_losses() > 0);
+//! ```
+
+mod gilbert;
+mod io;
+mod link_drops;
+mod model;
+mod stats;
+mod synth;
+mod table1;
+
+pub use gilbert::GilbertElliott;
+pub use io::ParseTraceError;
+pub use link_drops::LinkDrops;
+pub use model::{BitSeq, Trace, TraceMeta};
+pub use stats::LossStats;
+pub use synth::{generate, GeneratorConfig};
+pub use table1::{table1, TraceSpec};

@@ -1,0 +1,175 @@
+use topology::{LinkId, MulticastTree, NodeId};
+
+use crate::model::BitSeq;
+
+/// A per-link drop plan: for each tree link, the set of packet sequence
+/// numbers dropped on it — the paper's *link trace representation*
+/// `link : R → (I → L ∪ ⊥)` in link-major form (§4.2).
+///
+/// Produced both by the synthetic generator (ground truth) and by the
+/// loss-attribution inference in the `lossmap` crate (estimate), which makes
+/// the two directly comparable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkDrops {
+    /// Indexed by link head node index; entry 0 (the root, which has no
+    /// incoming link) stays empty.
+    drops: Vec<BitSeq>,
+    packets: usize,
+}
+
+impl LinkDrops {
+    /// Creates an empty plan for a tree with `nodes` nodes and `packets`
+    /// packets.
+    pub fn new(nodes: usize, packets: usize) -> Self {
+        LinkDrops {
+            drops: (0..nodes).map(|_| BitSeq::new(packets)).collect(),
+            packets,
+        }
+    }
+
+    /// Number of packets covered.
+    #[inline]
+    pub fn packets(&self) -> usize {
+        self.packets
+    }
+
+    /// Marks packet `seq` as dropped on `link`.
+    pub fn add(&mut self, link: LinkId, seq: usize) {
+        self.drops[link.index()].set(seq);
+    }
+
+    /// `true` iff packet `seq` is dropped on `link`.
+    pub fn dropped(&self, link: LinkId, seq: usize) -> bool {
+        self.drops[link.index()].get(seq)
+    }
+
+    /// Total number of `(link, packet)` drops.
+    pub fn len(&self) -> usize {
+        self.drops.iter().map(BitSeq::count_ones).sum()
+    }
+
+    /// `true` iff no drops are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of drops on `link`.
+    pub fn drops_on(&self, link: LinkId) -> usize {
+        self.drops[link.index()].count_ones()
+    }
+
+    /// Iterates over all `(link, seq)` drops.
+    pub fn pairs(&self) -> impl Iterator<Item = (LinkId, usize)> + '_ {
+        self.drops.iter().enumerate().skip(1).flat_map(|(n, bits)| {
+            bits.iter_ones()
+                .map(move |seq| (LinkId(NodeId(n as u32)), seq))
+        })
+    }
+
+    /// The link responsible for receiver `r` losing packet `seq`, if any:
+    /// the topmost dropped link on the path from the source to `r` — the
+    /// paper's `link(r)(i)`.
+    pub fn responsible_link(
+        &self,
+        tree: &MulticastTree,
+        r: NodeId,
+        seq: usize,
+    ) -> Option<LinkId> {
+        // Path links from source to r, topmost first.
+        let mut links = tree.path_links(tree.root(), r);
+        links.retain(|l| self.dropped(*l, seq));
+        links.first().copied()
+    }
+
+    /// Derives the per-receiver loss matrix this plan induces on `tree`:
+    /// receiver `r` loses packet `i` iff any link on its source path drops
+    /// `i` (in `tree.receivers()` order).
+    pub fn receiver_loss(&self, tree: &MulticastTree) -> Vec<BitSeq> {
+        tree.receivers()
+            .iter()
+            .map(|&r| {
+                let links = tree.path_links(tree.root(), r);
+                let mut row = BitSeq::new(self.packets);
+                for i in 0..self.packets {
+                    if links.iter().any(|l| self.dropped(*l, i)) {
+                        row.set(i);
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::TreeBuilder;
+
+    fn tree() -> MulticastTree {
+        // n0 -> n1(router) -> {n2, n3}; n0 -> n4
+        let mut b = TreeBuilder::new();
+        let r = b.add_router(b.root());
+        b.add_receiver(r);
+        b.add_receiver(r);
+        b.add_receiver(b.root());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_query_iterate() {
+        let t = tree();
+        let mut d = LinkDrops::new(t.len(), 10);
+        assert!(d.is_empty());
+        d.add(LinkId(NodeId(1)), 3);
+        d.add(LinkId(NodeId(2)), 3);
+        d.add(LinkId(NodeId(4)), 7);
+        assert_eq!(d.len(), 3);
+        assert!(d.dropped(LinkId(NodeId(1)), 3));
+        assert!(!d.dropped(LinkId(NodeId(1)), 4));
+        assert_eq!(d.drops_on(LinkId(NodeId(1))), 1);
+        let mut pairs: Vec<_> = d.pairs().collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (LinkId(NodeId(1)), 3),
+                (LinkId(NodeId(2)), 3),
+                (LinkId(NodeId(4)), 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn responsible_link_is_topmost() {
+        let t = tree();
+        let mut d = LinkDrops::new(t.len(), 10);
+        d.add(LinkId(NodeId(1)), 3);
+        d.add(LinkId(NodeId(2)), 3);
+        // n2's loss of packet 3 is attributed to the higher link into n1.
+        assert_eq!(
+            d.responsible_link(&t, NodeId(2), 3),
+            Some(LinkId(NodeId(1)))
+        );
+        // n3 also below n1.
+        assert_eq!(
+            d.responsible_link(&t, NodeId(3), 3),
+            Some(LinkId(NodeId(1)))
+        );
+        // n4 unaffected.
+        assert_eq!(d.responsible_link(&t, NodeId(4), 3), None);
+    }
+
+    #[test]
+    fn receiver_loss_matrix() {
+        let t = tree();
+        let mut d = LinkDrops::new(t.len(), 4);
+        d.add(LinkId(NodeId(1)), 0); // n2 and n3 lose packet 0
+        d.add(LinkId(NodeId(4)), 2); // n4 loses packet 2
+        let rows = d.receiver_loss(&t);
+        // receivers in id order: n2, n3, n4
+        assert!(rows[0].get(0) && rows[1].get(0) && !rows[2].get(0));
+        assert!(!rows[0].get(2) && !rows[1].get(2) && rows[2].get(2));
+        assert_eq!(rows[0].count_ones(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+use std::fmt;
+
+use crate::{LinkDrops, Trace};
+
+/// Loss-locality statistics of a trace.
+///
+/// The CESRM design rests on the observation that "packet losses in IP
+/// multicast transmissions are not independent" (§1): losses are bursty in
+/// time and concentrated on shared links in space. These statistics quantify
+/// both effects so that synthetic traces can be checked against the
+/// published characterizations ([15, 16]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct LossStats {
+    /// Fraction of (receiver, packet) slots lost.
+    pub marginal_loss_rate: f64,
+    /// `P(loss at i+1 | loss at i)` aggregated over receivers — temporal
+    /// locality; equals the marginal rate for independent losses.
+    pub cond_loss_rate: f64,
+    /// Mean length of maximal runs of consecutive losses.
+    pub mean_burst_len: f64,
+    /// Average fraction of receivers sharing each lossy packet — spatial
+    /// correlation; `1 / receivers` would indicate no sharing.
+    pub mean_pattern_fraction: f64,
+    /// Probability that a receiver's consecutive losses are caused by the
+    /// same link (requires ground truth). This is the quantity the
+    /// most-recent-loss expedition policy exploits.
+    pub same_link_repeat: Option<f64>,
+}
+
+impl LossStats {
+    /// Computes the statistics of `trace`; pass the ground-truth `drops` to
+    /// include the same-link repeat probability.
+    pub fn from_trace(trace: &Trace, drops: Option<&LinkDrops>) -> Self {
+        let tree = trace.tree();
+        let receivers = tree.receivers();
+        let mut losses = 0usize;
+        let mut slots = 0usize;
+        let mut pairs = 0usize;
+        let mut both = 0usize;
+        let mut bursts = 0usize;
+        let mut burst_total = 0usize;
+        let mut same_link = 0usize;
+        let mut link_pairs = 0usize;
+        for &r in receivers {
+            let s = trace.loss_seq(r);
+            losses += s.count_ones();
+            slots += s.len();
+            let mut run = 0usize;
+            for i in 0..s.len() {
+                if s.get(i) {
+                    run += 1;
+                    if i + 1 < s.len() {
+                        pairs += 1;
+                        if s.get(i + 1) {
+                            both += 1;
+                        }
+                    }
+                } else if run > 0 {
+                    bursts += 1;
+                    burst_total += run;
+                    run = 0;
+                }
+            }
+            if run > 0 {
+                bursts += 1;
+                burst_total += run;
+            }
+            if let Some(d) = drops {
+                let mut prev = None;
+                for i in s.iter_ones() {
+                    let link = d.responsible_link(tree, r, i);
+                    if let (Some(p), Some(l)) = (prev, link) {
+                        link_pairs += 1;
+                        if p == l {
+                            same_link += 1;
+                        }
+                    }
+                    prev = link;
+                }
+            }
+        }
+        let mut lossy = 0usize;
+        let mut fraction_sum = 0.0f64;
+        for (_, pattern) in trace.lossy_packets() {
+            lossy += 1;
+            fraction_sum += pattern.len() as f64 / receivers.len() as f64;
+        }
+        LossStats {
+            marginal_loss_rate: ratio(losses, slots),
+            cond_loss_rate: ratio(both, pairs),
+            mean_burst_len: if bursts == 0 {
+                0.0
+            } else {
+                burst_total as f64 / bursts as f64
+            },
+            mean_pattern_fraction: if lossy == 0 {
+                0.0
+            } else {
+                fraction_sum / lossy as f64
+            },
+            same_link_repeat: drops.map(|_| ratio(same_link, link_pairs)),
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for LossStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loss rate {:.4}, P(loss|prev loss) {:.4}, mean burst {:.2}, \
+             pattern fraction {:.3}",
+            self.marginal_loss_rate,
+            self.cond_loss_rate,
+            self.mean_burst_len,
+            self.mean_pattern_fraction
+        )?;
+        if let Some(s) = self.same_link_repeat {
+            write!(f, ", same-link repeat {s:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn synthetic_traces_show_locality() {
+        let (trace, drops) = generate(&GeneratorConfig::small(21));
+        let stats = LossStats::from_trace(&trace, Some(&drops));
+        assert!(stats.marginal_loss_rate > 0.0);
+        // Temporal locality: conditional well above marginal.
+        assert!(
+            stats.cond_loss_rate > 1.5 * stats.marginal_loss_rate,
+            "{stats}"
+        );
+        assert!(stats.mean_burst_len > 1.2, "{stats}");
+        // Spatial correlation: lossy packets shared by more than one
+        // receiver on average (8 receivers → independent would be ~0.125).
+        assert!(stats.mean_pattern_fraction > 0.15, "{stats}");
+        // The most-recent-loss policy's premise: consecutive losses of a
+        // receiver tend to be on the same link.
+        let repeat = stats.same_link_repeat.unwrap();
+        assert!(repeat > 0.4, "same-link repeat too low: {repeat}");
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let (trace, drops) = generate(&GeneratorConfig::small(2));
+        let s = LossStats::from_trace(&trace, Some(&drops)).to_string();
+        assert!(s.contains("loss rate"));
+        assert!(s.contains("same-link repeat"));
+        let s2 = LossStats::from_trace(&trace, None).to_string();
+        assert!(!s2.contains("same-link repeat"));
+    }
+}

@@ -1,0 +1,181 @@
+use topology::TreeShape;
+
+use crate::{generate, GeneratorConfig, LinkDrops, Trace};
+
+/// One row of the paper's Table 1: the published parameters of a Yajnik et
+/// al. IP multicast transmission trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceSpec {
+    /// 1-based trace number as listed in Table 1.
+    pub number: usize,
+    /// Source-and-date trace name, e.g. `"RFV960419"`.
+    pub name: &'static str,
+    /// Number of receivers.
+    pub receivers: usize,
+    /// IP multicast tree depth.
+    pub depth: usize,
+    /// Packet transmission period in milliseconds.
+    pub period_ms: u64,
+    /// Number of packets transmitted.
+    pub packets: usize,
+    /// Total number of losses across receivers.
+    pub losses: usize,
+}
+
+impl TraceSpec {
+    /// The topology shape of this trace.
+    pub fn shape(&self) -> TreeShape {
+        TreeShape::new(self.receivers, self.depth)
+    }
+
+    /// Transmission duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.packets as f64 * self.period_ms as f64 / 1e3
+    }
+
+    /// The generator configuration reproducing this trace synthetically.
+    pub fn config(&self, seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            name: self.name.to_string(),
+            shape: self.shape(),
+            packets: self.packets,
+            target_losses: self.losses,
+            period_ms: self.period_ms,
+            mean_burst: 4.0,
+            seed: seed.wrapping_add(self.number as u64 * 0x9e37_79b9),
+        }
+    }
+
+    /// Generates the synthetic trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        generate(&self.config(seed)).0
+    }
+
+    /// Generates the synthetic trace together with its ground-truth link
+    /// drop plan.
+    pub fn generate_with_truth(&self, seed: u64) -> (Trace, LinkDrops) {
+        generate(&self.config(seed))
+    }
+
+    /// A proportionally scaled-down version of this spec (same topology and
+    /// loss *rate*, fewer packets) for quick tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn scaled(&self, factor: f64) -> TraceSpec {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must lie in (0, 1]");
+        let packets = ((self.packets as f64 * factor) as usize).max(200);
+        let losses = ((self.losses as f64 / self.packets as f64) * packets as f64) as usize;
+        TraceSpec {
+            packets,
+            losses,
+            ..self.clone()
+        }
+    }
+}
+
+/// The 14 IP multicast traces of Yajnik et al. as published in Table 1 of
+/// the CESRM paper.
+pub fn table1() -> Vec<TraceSpec> {
+    const ROWS: [(usize, &str, usize, usize, u64, usize, usize); 14] = [
+        (1, "RFV960419", 12, 6, 80, 45_001, 24_086),
+        (2, "RFV960508", 10, 5, 40, 148_970, 55_987),
+        (3, "UCB960424", 15, 7, 40, 93_734, 33_506),
+        (4, "WRN950919", 8, 4, 80, 17_637, 10_276),
+        (5, "WRN951030", 10, 4, 80, 57_030, 15_879),
+        (6, "WRN951101", 9, 5, 80, 41_751, 18_911),
+        (7, "WRN951113", 12, 5, 80, 46_443, 29_686),
+        (8, "WRN951114", 10, 4, 80, 38_539, 11_803),
+        (9, "WRN951128", 9, 4, 80, 44_956, 33_040),
+        (10, "WRN951204", 11, 5, 80, 45_404, 16_814),
+        (11, "WRN951211", 11, 4, 80, 72_519, 44_649),
+        (12, "WRN951214", 7, 4, 80, 38_724, 20_872),
+        (13, "WRN951216", 8, 3, 80, 50_202, 37_833),
+        (14, "WRN951218", 8, 3, 80, 69_994, 43_578),
+    ];
+    ROWS.iter()
+        .map(
+            |&(number, name, receivers, depth, period_ms, packets, losses)| TraceSpec {
+                number,
+                name,
+                receivers,
+                depth,
+                period_ms,
+                packets,
+                losses,
+            },
+        )
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_rows_with_published_values() {
+        let t = table1();
+        assert_eq!(t.len(), 14);
+        assert_eq!(t[0].name, "RFV960419");
+        assert_eq!(t[0].receivers, 12);
+        assert_eq!(t[0].depth, 6);
+        assert_eq!(t[0].packets, 45_001);
+        assert_eq!(t[0].losses, 24_086);
+        assert_eq!(t[2].name, "UCB960424");
+        assert_eq!(t[2].period_ms, 40);
+        assert_eq!(t[13].name, "WRN951218");
+        assert_eq!(t[13].losses, 43_578);
+    }
+
+    #[test]
+    fn durations_match_table() {
+        let t = table1();
+        // RFV960419: 45001 packets at 80 ms = 1:00:00.
+        assert!((t[0].duration_secs() - 3600.08).abs() < 0.1);
+        // RFV960508: 148970 packets at 40 ms = 1:39:19.
+        assert!((t[1].duration_secs() - (3600.0 + 39.0 * 60.0 + 19.0)).abs() < 2.0);
+    }
+
+    #[test]
+    fn scaled_preserves_loss_rate() {
+        let spec = table1()[0].scaled(0.01);
+        let original = table1()[0].clone();
+        let rate0 = original.losses as f64 / original.packets as f64;
+        let rate1 = spec.losses as f64 / spec.packets as f64;
+        assert!((rate0 - rate1).abs() < 0.01);
+        assert!(spec.packets >= 200);
+        assert_eq!(spec.receivers, original.receivers);
+    }
+
+    #[test]
+    fn generate_small_scaled_trace() {
+        let spec = table1()[3].scaled(0.02);
+        let trace = spec.generate(1);
+        assert_eq!(trace.tree().receivers().len(), spec.receivers);
+        assert_eq!(trace.tree().depth(), spec.depth);
+        let target = spec.losses as f64;
+        let realized = trace.total_losses() as f64;
+        // At a few hundred packets the bursty processes leave substantial
+        // variance; full-size traces calibrate much tighter (see the
+        // integration tests).
+        assert!(
+            (realized - target).abs() / target < 0.30,
+            "realized {realized} target {target}"
+        );
+    }
+
+    #[test]
+    fn per_spec_seeds_decorrelate_traces() {
+        let specs = table1();
+        let a = specs[3].scaled(0.02).generate(1);
+        let b = specs[4].scaled(0.02).generate(1);
+        assert_ne!(a.meta().name, b.meta().name);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must lie in (0, 1]")]
+    fn bad_scale_factor_rejected() {
+        table1()[0].scaled(0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the CESRM reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the integration tests
+//! under `tests/` and the examples under `examples/` can reach every layer of
+//! the system through a single dependency. Library users should depend on the
+//! individual crates ([`cesrm`], [`srm`], [`netsim`], …) directly.
+
+pub use cesrm;
+pub use harness;
+pub use lms;
+pub use lossmap;
+pub use metrics;
+pub use netsim;
+pub use srm;
+pub use topology;
+pub use traces;

@@ -1,0 +1,138 @@
+//! Contract tests of the simulator's agent-facing API: panics on misuse,
+//! timing guarantees, and observer completeness.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim::{
+    Agent, Context, DeliveryMeta, NetConfig, Packet, PacketBody, PacketId, SeqNo, SimDuration,
+    SimObserver, SimTime, Simulator, TimerToken,
+};
+use topology::{LinkId, MulticastTree, NodeId, TreeBuilder};
+
+fn tree() -> MulticastTree {
+    let mut b = TreeBuilder::new();
+    let r = b.add_router(b.root());
+    b.add_receiver(r);
+    b.add_receiver(r);
+    b.build().unwrap()
+}
+
+struct SubcastAtStart(NodeId);
+impl Agent for SubcastAtStart {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.subcast(
+            self.0,
+            PacketBody::Data {
+                id: PacketId {
+                    source: ctx.me(),
+                    seq: SeqNo(0),
+                },
+            },
+        );
+    }
+    fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+    fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+}
+
+#[test]
+#[should_panic(expected = "subcast requires router assistance")]
+fn subcast_without_router_assist_panics() {
+    let mut sim = Simulator::new(tree(), NetConfig::default());
+    sim.attach_agent(NodeId::ROOT, Box::new(SubcastAtStart(NodeId(1))));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+}
+
+/// Every delivery must have been preceded by a send and by at least one
+/// crossing of the final link — the observer never misses an event.
+#[test]
+fn observer_sees_complete_causal_chains() {
+    #[derive(Default)]
+    struct Audit {
+        sends: usize,
+        crossings: Vec<LinkId>,
+        deliveries: usize,
+    }
+    impl SimObserver for Audit {
+        fn on_send(&mut self, _: SimTime, _: NodeId, _: &Packet) {
+            self.sends += 1;
+        }
+        fn on_link_crossing(
+            &mut self,
+            _: SimTime,
+            link: LinkId,
+            _: netsim::Direction,
+            _: &Packet,
+        ) {
+            self.crossings.push(link);
+        }
+        fn on_delivery(&mut self, _: SimTime, _: NodeId, _: &Packet) {
+            self.deliveries += 1;
+        }
+    }
+    struct Sender;
+    impl Agent for Sender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.multicast(PacketBody::Data {
+                id: PacketId {
+                    source: ctx.me(),
+                    seq: SeqNo(0),
+                },
+            });
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+    }
+    struct Sink;
+    impl Agent for Sink {
+        fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+        fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+    }
+    let audit = Rc::new(RefCell::new(Audit::default()));
+    let mut sim = Simulator::new(tree(), NetConfig::default());
+    sim.set_observer(Box::new(Rc::clone(&audit)));
+    sim.attach_agent(NodeId::ROOT, Box::new(Sender));
+    sim.attach_agent(NodeId(2), Box::new(Sink));
+    sim.attach_agent(NodeId(3), Box::new(Sink));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    let audit = audit.borrow();
+    assert_eq!(audit.sends, 1);
+    assert_eq!(audit.deliveries, 2);
+    // A 4-node tree has 3 links; the flood crosses each exactly once.
+    assert_eq!(audit.crossings.len(), 3);
+    let mut links = audit.crossings.clone();
+    links.sort();
+    links.dedup();
+    assert_eq!(links.len(), 3, "each link crossed exactly once");
+}
+
+/// Timers always fire at exactly `now + delay`, and the event tracer
+/// observes recovery traffic only when filtered.
+#[test]
+fn timer_precision_contract() {
+    struct Timed {
+        fired_at: Rc<RefCell<Vec<SimTime>>>,
+    }
+    impl Agent for Timed {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_micros(1_234_567));
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _: TimerToken) {
+            self.fired_at.borrow_mut().push(ctx.now());
+        }
+    }
+    let fired = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulator::new(tree(), NetConfig::default());
+    sim.attach_agent(
+        NodeId(2),
+        Box::new(Timed {
+            fired_at: Rc::clone(&fired),
+        }),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+    assert_eq!(
+        *fired.borrow(),
+        vec![SimTime::ZERO + SimDuration::from_micros(1_234_567)]
+    );
+}

@@ -1,0 +1,328 @@
+//! Property-based tests of the core data structures and estimators across
+//! crates: trees, bit sequences, caches, loss processes and the
+//! loss-attribution pipeline.
+
+use lossmap::{infer_link_drops, yajnik_rates, Attributor};
+use netsim::{PacketId, RecoveryTuple, SeqNo, SimDuration};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topology::{random_tree, NodeId, TreeShape};
+use traces::{BitSeq, GilbertElliott, LinkDrops, Trace, TraceMeta};
+
+fn arb_shape() -> impl Strategy<Value = TreeShape> {
+    (1usize..12, 1usize..6).prop_map(|(r, d)| TreeShape::new(r, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree metric properties: LCA depth, path symmetry, hop-distance
+    /// triangle equality along paths, and next-hop progress.
+    #[test]
+    fn tree_metrics_are_consistent(seed in any::<u64>(), shape in arb_shape()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, shape);
+        let nodes: Vec<NodeId> = tree.nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let l = tree.lca(a, b);
+                prop_assert!(tree.is_ancestor_or_self(l, a));
+                prop_assert!(tree.is_ancestor_or_self(l, b));
+                prop_assert_eq!(tree.hop_distance(a, b), tree.hop_distance(b, a));
+                let path = tree.path(a, b);
+                prop_assert_eq!(path.first(), Some(&a));
+                prop_assert_eq!(path.last(), Some(&b));
+                prop_assert_eq!(path.len(), tree.hop_distance(a, b) + 1);
+                prop_assert_eq!(tree.path_links(a, b).len(), tree.hop_distance(a, b));
+                if a != b {
+                    let next = tree.next_hop(a, b);
+                    prop_assert_eq!(tree.hop_distance(next, b), tree.hop_distance(a, b) - 1);
+                }
+            }
+        }
+    }
+
+    /// Generated trees match their requested shape exactly and every
+    /// interior node leads to at least one receiver.
+    #[test]
+    fn generated_trees_match_shape(seed in any::<u64>(), shape in arb_shape()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, shape);
+        prop_assert_eq!(tree.receivers().len(), shape.receivers);
+        prop_assert_eq!(tree.depth(), shape.depth);
+        for n in tree.nodes() {
+            prop_assert!(!tree.receivers_below(n).is_empty());
+        }
+    }
+
+    /// BitSeq behaves like a Vec<bool> reference model.
+    #[test]
+    fn bitseq_models_vec_bool(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut seq = BitSeq::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                seq.set(i);
+            }
+        }
+        prop_assert_eq!(seq.count_ones(), bits.iter().filter(|&&b| b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(seq.get(i), b);
+        }
+        let ones: Vec<usize> = seq.iter_ones().collect();
+        let expect: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(ones, expect);
+    }
+
+    /// The recovery cache never exceeds capacity, `most_recent` is the
+    /// maximal cached sequence, and per-packet tuples are delay-minimal
+    /// among those offered.
+    #[test]
+    fn cache_invariants(observations in proptest::collection::vec(
+        (0u64..40, 1u32..6, 1u32..6, 0u64..200, 0u64..200), 0..60,
+    ), capacity in 1usize..8) {
+        let mut cache = cesrm::RecoveryCache::new(capacity);
+        let mut offered: std::collections::HashMap<u64, u64> = Default::default();
+        for (seq, q, r, dqs, drq) in observations {
+            let tuple = RecoveryTuple {
+                id: PacketId { source: NodeId::ROOT, seq: SeqNo(seq) },
+                requestor: NodeId(q),
+                dist_req_src: SimDuration::from_millis(dqs),
+                replier: NodeId(r),
+                dist_rep_req: SimDuration::from_millis(drq),
+                turning_point: None,
+            };
+            let delay = dqs + 2 * drq;
+            offered
+                .entry(seq)
+                .and_modify(|d| *d = (*d).min(delay))
+                .or_insert(delay);
+            cache.observe(tuple);
+            prop_assert!(cache.len() <= capacity);
+            if let Some(recent) = cache.most_recent() {
+                prop_assert!(cache.iter().all(|t| t.id.seq <= recent.id.seq));
+            }
+        }
+        // Every cached tuple is optimal among everything offered for it.
+        for t in cache.iter() {
+            let best = offered[&t.id.seq.value()];
+            prop_assert_eq!(
+                t.recovery_delay(),
+                SimDuration::from_millis(best),
+                "cached tuple for {} is not optimal", t.id.seq
+            );
+        }
+    }
+
+    /// Gilbert–Elliott's empirical loss rate tracks its stationary rate.
+    #[test]
+    fn gilbert_tracks_stationary_rate(
+        seed in any::<u64>(),
+        rate in 0.01f64..0.4,
+        burst in 1.0f64..8.0,
+    ) {
+        let mut g = GilbertElliott::from_rate_and_burst(rate, burst);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60_000;
+        let losses = (0..n).filter(|_| g.step(&mut rng)).count();
+        let empirical = losses as f64 / n as f64;
+        prop_assert!(
+            (empirical - rate).abs() < 0.05 + rate * 0.25,
+            "empirical {empirical} vs stationary {rate}"
+        );
+    }
+
+    /// The §4.2 pipeline is pattern-preserving for arbitrary drop plans:
+    /// estimating rates from the induced trace and re-attributing each loss
+    /// pattern yields a drop plan with the identical receiver loss matrix.
+    #[test]
+    fn attribution_reproduces_arbitrary_loss_matrices(
+        seed in any::<u64>(),
+        shape in arb_shape(),
+        picks in proptest::collection::vec((0usize..64, 0usize..40), 0..80),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, shape);
+        let packets = 40;
+        let mut plan = LinkDrops::new(tree.len(), packets);
+        let links: Vec<_> = tree.links().collect();
+        for (li, seq) in picks {
+            plan.add(links[li % links.len()], seq);
+        }
+        let rows = plan.receiver_loss(&tree);
+        let losses = rows.iter().map(BitSeq::count_ones).sum();
+        let trace = Trace::new(
+            tree,
+            TraceMeta { name: "PROP".into(), period_ms: 80, packets, losses },
+            rows.clone(),
+        );
+        let rates = yajnik_rates(&trace);
+        let (inferred, stats) = infer_link_drops(&trace, &rates);
+        prop_assert_eq!(inferred.receiver_loss(trace.tree()), rows);
+        prop_assert!(stats.mean_posterior > 0.0);
+    }
+
+    /// The attribution DP returns a valid antichain covering exactly the
+    /// lost receivers, with posterior in (0, 1].
+    #[test]
+    fn attribution_outputs_are_well_formed(
+        seed in any::<u64>(),
+        shape in arb_shape(),
+        pattern_bits in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, shape);
+        let rates: Vec<f64> = (0..tree.len()).map(|i| 0.01 + (i as f64 % 7.0) / 20.0).collect();
+        let receivers = tree.receivers().to_vec();
+        let pattern: Vec<NodeId> = receivers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pattern_bits >> (i % 64) & 1 == 1)
+            .map(|(_, &r)| r)
+            .collect();
+        let mut attributor = Attributor::new(&tree, &rates);
+        let a = attributor.attribute(&pattern);
+        prop_assert!(a.posterior > 0.0 && a.posterior <= 1.0 + 1e-12);
+        prop_assert!(a.prob > 0.0);
+        // Antichain: no chosen link below another.
+        for &x in &a.links {
+            for &y in &a.links {
+                if x != y {
+                    prop_assert!(!tree.is_ancestor_or_self(x.head(), y.head()));
+                }
+            }
+        }
+        // Coverage: lost receivers are exactly those below chosen links.
+        let covered: std::collections::HashSet<NodeId> = receivers
+            .iter()
+            .copied()
+            .filter(|&r| a.links.iter().any(|l| tree.is_ancestor_or_self(l.head(), r)))
+            .collect();
+        let lost: std::collections::HashSet<NodeId> = pattern.into_iter().collect();
+        prop_assert_eq!(covered, lost);
+    }
+}
+
+mod lms_routing {
+    use super::arb_shape;
+    use lms::ReplierTable;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topology::random_tree;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// LMS request routing invariants on arbitrary trees: the replier
+        /// is never in the branch the request came from, the turning point
+        /// is a common ancestor of requestor and replier, and escalation
+        /// strictly climbs towards the root.
+        #[test]
+        fn route_invariants(seed in any::<u64>(), shape in arb_shape()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = random_tree(&mut rng, shape);
+            let table = ReplierTable::closest_receiver(&tree);
+            for &r in tree.receivers() {
+                let (replier, tp) = table.route(&tree, r);
+                prop_assert!(tree.is_ancestor_or_self(tp, r));
+                if replier == tree.root() {
+                    prop_assert_eq!(tp, tree.root(), "source fallback turns at the root");
+                } else {
+                    prop_assert!(replier != r, "no self-replies");
+                    prop_assert!(
+                        tree.is_ancestor_or_self(tp, replier),
+                        "turning point covers the replier"
+                    );
+                    // The replier lies outside the branch the request
+                    // climbed out of: its path from tp diverges from r's.
+                    let branch_child = tree
+                        .path(tp, r)
+                        .get(1)
+                        .copied()
+                        .expect("tp is a strict ancestor of r");
+                    prop_assert!(
+                        !tree.is_ancestor_or_self(branch_child, replier),
+                        "replier must sit outside the requesting branch"
+                    );
+                    // Escalating past tp moves strictly upwards.
+                    let (_, tp2) = table.escalate(&tree, tp);
+                    prop_assert!(
+                        tree.is_ancestor_or_self(tp2, tp),
+                        "escalation climbs towards the root"
+                    );
+                    prop_assert!(tp2 != tp, "escalation makes progress");
+                }
+            }
+        }
+
+        /// Every router designates a replier in its own subtree.
+        #[test]
+        fn designations_stay_in_subtree(seed in any::<u64>(), shape in arb_shape()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = random_tree(&mut rng, shape);
+            let table = ReplierTable::closest_receiver(&tree);
+            for n in tree.nodes() {
+                if let Some(rep) = table.replier_of(n) {
+                    prop_assert!(tree.is_ancestor_or_self(n, rep));
+                }
+            }
+        }
+    }
+}
+
+mod trace_io {
+    use super::arb_shape;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use topology::random_tree;
+    use traces::{BitSeq, LinkDrops, Trace, TraceMeta};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The text interchange format roundtrips arbitrary traces exactly.
+        #[test]
+        fn text_format_roundtrips(
+            seed in any::<u64>(),
+            shape in arb_shape(),
+            picks in proptest::collection::vec((0usize..64, 0usize..30), 0..50),
+            period in prop_oneof![Just(40u64), Just(80u64)],
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = random_tree(&mut rng, shape);
+            let packets = 30;
+            let mut plan = LinkDrops::new(tree.len(), packets);
+            let links: Vec<_> = tree.links().collect();
+            for (li, seq) in picks {
+                plan.add(links[li % links.len()], seq);
+            }
+            let rows = plan.receiver_loss(&tree);
+            let losses = rows.iter().map(BitSeq::count_ones).sum();
+            let trace = Trace::new(
+                tree,
+                TraceMeta { name: "RT".into(), period_ms: period, packets, losses },
+                rows,
+            );
+            let parsed = Trace::from_text(&trace.to_text()).expect("roundtrip parse");
+            prop_assert_eq!(&parsed, &trace);
+        }
+
+        /// DOT export stays well-formed on arbitrary trees.
+        #[test]
+        fn dot_export_well_formed(seed in any::<u64>(), shape in arb_shape()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = random_tree(&mut rng, shape);
+            let dot = tree.to_dot();
+            prop_assert!(dot.starts_with("digraph"));
+            prop_assert_eq!(dot.matches(" -> ").count(), tree.link_count());
+            prop_assert_eq!(dot.matches("[shape=").count(), tree.len());
+        }
+    }
+}
