@@ -51,7 +51,13 @@ fn run_with_policy(trace: &Trace, make: fn() -> Box<dyn ExpeditionPolicy>) -> (f
     for &r in tree.receivers() {
         sim.attach_agent(
             r,
-            Box::new(CesrmAgent::receiver_with_policy(r, src, cfg, make(), log.clone())),
+            Box::new(CesrmAgent::receiver_with_policy(
+                r,
+                src,
+                cfg,
+                make(),
+                log.clone(),
+            )),
         );
     }
     let end = SimTime::ZERO
@@ -68,7 +74,11 @@ fn run_with_policy(trace: &Trace, make: fn() -> Box<dyn ExpeditionPolicy>) -> (f
     let erepl = c.total_sends(PacketKind::ExpeditedReply);
     (
         latency,
-        if ereq == 0 { 0.0 } else { erepl as f64 / ereq as f64 },
+        if ereq == 0 {
+            0.0
+        } else {
+            erepl as f64 / ereq as f64
+        },
     )
 }
 
@@ -152,7 +162,11 @@ fn print_adaptive_comparison(trace: &Trace) {
         let (latency, requests) = run_srm_with_timers(trace, adaptive);
         println!(
             "{:<28} latency {latency:.2} RTT, {requests} multicast requests",
-            if adaptive { "adaptive timers" } else { "fixed timers" }
+            if adaptive {
+                "adaptive timers"
+            } else {
+                "fixed timers"
+            }
         );
     }
 }

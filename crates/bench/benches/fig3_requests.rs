@@ -19,12 +19,7 @@ fn bench_fig3(c: &mut Criterion) {
     group.bench_function("cesrm_request_counts", |b| {
         b.iter(|| {
             let m = reenact_cesrm(&trace);
-            std::hint::black_box(
-                m.requests_by_node
-                    .iter()
-                    .map(|r| r.1 + r.2)
-                    .sum::<u64>(),
-            )
+            std::hint::black_box(m.requests_by_node.iter().map(|r| r.1 + r.2).sum::<u64>())
         });
     });
     group.finish();

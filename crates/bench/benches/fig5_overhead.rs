@@ -15,7 +15,8 @@ fn bench_fig5(c: &mut Criterion) {
             let srm = reenact_srm(&trace);
             let cesrm = reenact_cesrm(&trace);
             std::hint::black_box(
-                cesrm.overhead.recovery_total() as f64 / srm.overhead.recovery_total().max(1) as f64,
+                cesrm.overhead.recovery_total() as f64
+                    / srm.overhead.recovery_total().max(1) as f64,
             )
         });
     });

@@ -44,7 +44,9 @@ fn bench_cache(c: &mut Criterion) {
 fn bench_attribution(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let tree = random_tree(&mut rng, TreeShape::new(15, 7));
-    let rates: Vec<f64> = (0..tree.len()).map(|i| 0.01 + (i % 5) as f64 * 0.03).collect();
+    let rates: Vec<f64> = (0..tree.len())
+        .map(|i| 0.01 + (i % 5) as f64 * 0.03)
+        .collect();
     let receivers = tree.receivers().to_vec();
     let mut group = c.benchmark_group("micro/attribution");
     group.bench_function("fresh_pattern_dp", |b| {

@@ -1,9 +1,11 @@
 //! Table 1: trace synthesis. Prints the trace inventory, then times the
 //! synthetic trace generator (topology + calibration + Gilbert processes)
-//! per representative trace.
+//! per representative trace, and finally times the full suite serial vs.
+//! parallel to show the worker-pool speedup.
 
-use bench::{representative_suite, TIMING_SCALE};
+use bench::{representative_suite, suite_timing_config, TIMING_SCALE};
 use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{default_parallelism, run_suite};
 use traces::table1;
 
 fn bench_table1(c: &mut Criterion) {
@@ -19,5 +21,22 @@ fn bench_table1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table1);
+/// The same (trace × protocol) suite with one worker vs. all cores; results
+/// are byte-identical, only the wall clock differs.
+fn bench_suite_parallelism(c: &mut Criterion) {
+    let cores = default_parallelism();
+    let mut group = c.benchmark_group("suite/jobs");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let cfg = suite_timing_config().with_jobs(1);
+        b.iter(|| std::hint::black_box(run_suite(&cfg)));
+    });
+    group.bench_function(format!("parallel-{cores}"), |b| {
+        let cfg = suite_timing_config().with_jobs(cores);
+        b.iter(|| std::hint::black_box(run_suite(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_suite_parallelism);
 criterion_main!(benches);

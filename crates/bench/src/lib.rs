@@ -5,7 +5,9 @@
 //! and then times the computation that produces it on scaled-down traces.
 
 use cesrm::CesrmConfig;
-use harness::{run_suite, run_trace, ExperimentConfig, Protocol, RunMetrics, SuiteConfig, SuiteResult};
+use harness::{
+    run_suite, run_trace, ExperimentConfig, Protocol, RunMetrics, SuiteConfig, SuiteResult,
+};
 use traces::{table1, Trace};
 
 /// Trace numbers used for the informational (printed) series: one RFV
@@ -24,6 +26,12 @@ pub fn representative_suite() -> SuiteResult {
     let mut cfg = SuiteConfig::quick(PRINT_SCALE);
     cfg.traces = Some(REPRESENTATIVE_TRACES.to_vec());
     run_suite(&cfg)
+}
+
+/// Config for the serial-vs-parallel suite timing: every Table-1 trace at
+/// timing scale, so the job queue is deep enough to exercise the pool.
+pub fn suite_timing_config() -> SuiteConfig {
+    SuiteConfig::quick(TIMING_SCALE)
 }
 
 /// A small trace for timed loops: Table-1 spec `number`, scaled.

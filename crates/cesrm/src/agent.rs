@@ -72,7 +72,12 @@ impl CesrmAgent {
     /// Creates the source endpoint. The source never loses packets, so its
     /// CESRM layer only answers expedited requests (it is a popular
     /// expeditious replier).
-    pub fn source(me: NodeId, cfg: CesrmConfig, source_cfg: SourceConfig, log: SharedRecoveryLog) -> Self {
+    pub fn source(
+        me: NodeId,
+        cfg: CesrmConfig,
+        source_cfg: SourceConfig,
+        log: SharedRecoveryLog,
+    ) -> Self {
         let core = SrmCore::new(me, me, cfg.srm, Role::Source(source_cfg), log.clone());
         CesrmAgent::with_core(core, cfg, Box::new(MostRecentLoss), log)
     }
@@ -326,7 +331,9 @@ mod tests {
         proto: Proto,
     ) -> Run {
         let assist = matches!(proto, Proto::Cesrm(c) if c.router_assist);
-        let net = NetConfig::default().with_seed(11).with_router_assist(assist);
+        let net = NetConfig::default()
+            .with_seed(11)
+            .with_router_assist(assist);
         let log = RecoveryLog::shared();
         let collector = Rc::new(RefCell::new(TrafficCollector::new()));
         let mut sim = Simulator::new(tree.clone(), net);
@@ -337,7 +344,12 @@ mod tests {
             Proto::Cesrm(cfg) => {
                 sim.attach_agent(
                     src,
-                    Box::new(CesrmAgent::source(src, cfg, source_cfg(packets), log.clone())),
+                    Box::new(CesrmAgent::source(
+                        src,
+                        cfg,
+                        source_cfg(packets),
+                        log.clone(),
+                    )),
                 );
                 for &r in tree.receivers() {
                     sim.attach_agent(r, Box::new(CesrmAgent::receiver(r, src, cfg, log.clone())));
@@ -347,13 +359,15 @@ mod tests {
                 let params = SrmParams::paper_default();
                 sim.attach_agent(
                     src,
-                    Box::new(SrmAgent::source(src, params, source_cfg(packets), log.clone())),
+                    Box::new(SrmAgent::source(
+                        src,
+                        params,
+                        source_cfg(packets),
+                        log.clone(),
+                    )),
                 );
                 for &r in tree.receivers() {
-                    sim.attach_agent(
-                        r,
-                        Box::new(SrmAgent::receiver(r, src, params, log.clone())),
-                    );
+                    sim.attach_agent(r, Box::new(SrmAgent::receiver(r, src, params, log.clone())));
                 }
             }
         }
@@ -407,8 +421,7 @@ mod tests {
         // detection happens through 1 s-period session messages, several
         // losses are detected before the cache warms up, and everything
         // must still be recovered (expedited or not).
-        let burst: Vec<(LinkId, SeqNo)> =
-            (10..30).map(|i| (LinkId(NodeId(3)), SeqNo(i))).collect();
+        let burst: Vec<(LinkId, SeqNo)> = (10..30).map(|i| (LinkId(NodeId(3)), SeqNo(i))).collect();
         let run = run_cesrm(burst, 60, 60, CesrmConfig::paper_default());
         let log = run.log.borrow();
         assert_eq!(log.len(), 40);
@@ -430,7 +443,10 @@ mod tests {
             assert!(exp < 2.0, "receiver {} expedited avg {exp}", rep.receiver);
             seen += 1;
         }
-        assert!(seen >= 2, "both losing receivers should see expedited recoveries");
+        assert!(
+            seen >= 2,
+            "both losing receivers should see expedited recoveries"
+        );
     }
 
     #[test]
@@ -440,8 +456,7 @@ mod tests {
         let avg = |run: &Run| {
             let reports = per_receiver_reports(&run.log.borrow(), &run.tree, &run.net);
             let with_losses: Vec<_> = reports.iter().filter(|r| r.recovered > 0).collect();
-            with_losses.iter().map(|r| r.avg_norm_recovery).sum::<f64>()
-                / with_losses.len() as f64
+            with_losses.iter().map(|r| r.avg_norm_recovery).sum::<f64>() / with_losses.len() as f64
         };
         let (a_cesrm, a_srm) = (avg(&cesrm), avg(&srm));
         assert!(

@@ -75,6 +75,9 @@ mod tests {
             c2: 4.0,
             ..SrmParams::paper_default()
         };
-        assert!(non_expedited_avg_bound_rtt(&lax) > non_expedited_avg_bound_rtt(&SrmParams::paper_default()));
+        assert!(
+            non_expedited_avg_bound_rtt(&lax)
+                > non_expedited_avg_bound_rtt(&SrmParams::paper_default())
+        );
     }
 }

@@ -95,10 +95,7 @@ impl RecoveryCache {
             .max_by_key(|(_, &c)| c)
             .map(|(&pair, _)| pair)?;
         // Most recent tuple carrying the modal pair.
-        self.entries
-            .values()
-            .rev()
-            .find(|t| t.pair() == best_pair)
+        self.entries.values().rev().find(|t| t.pair() == best_pair)
     }
 
     /// The cached tuple for packet `seq`, if present.
@@ -135,9 +132,9 @@ mod tests {
     fn keeps_optimal_pair_per_packet() {
         let mut c = RecoveryCache::new(4);
         assert!(c.observe(tuple(1, 1, 2, 40, 40))); // delay 120
-        // Worse pair for the same packet: rejected.
+                                                    // Worse pair for the same packet: rejected.
         assert!(!c.observe(tuple(1, 3, 4, 60, 60))); // delay 180
-        // Better pair: replaces.
+                                                     // Better pair: replaces.
         assert!(c.observe(tuple(1, 5, 6, 20, 20))); // delay 60
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(SeqNo(1)).unwrap().requestor, NodeId(5));

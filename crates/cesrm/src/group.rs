@@ -58,10 +58,7 @@ impl GroupMember {
             );
             let agent = match role {
                 StreamRole::Source(source_cfg) => {
-                    assert_eq!(
-                        source, me,
-                        "only {me} itself can originate its stream here"
-                    );
+                    assert_eq!(source, me, "only {me} itself can originate its stream here");
                     CesrmAgent::source(me, cfg, source_cfg, log.clone())
                 }
                 StreamRole::Receiver => CesrmAgent::receiver(me, source, cfg, log.clone()),
@@ -179,10 +176,7 @@ mod tests {
                     }
                 })
                 .collect();
-            sim.attach_agent(
-                n,
-                Box::new(GroupMember::new(n, cfg, log.clone(), &streams)),
-            );
+            sim.attach_agent(n, Box::new(GroupMember::new(n, cfg, log.clone(), &streams)));
         }
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
         Run {
@@ -246,10 +240,7 @@ mod tests {
             for s in [A, B] {
                 let core = member.endpoint(s).unwrap().core();
                 for seq in 0..50 {
-                    assert!(
-                        core.has(SeqNo(seq)),
-                        "member {n} is missing {s}#{seq}"
-                    );
+                    assert!(core.has(SeqNo(seq)), "member {n} is missing {s}#{seq}");
                 }
             }
         }

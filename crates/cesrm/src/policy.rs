@@ -90,10 +90,12 @@ impl ExpeditionPolicy for RecencyWeighted {
             *scores.entry(t.pair()).or_insert(0.0) += weight;
             weight *= self.decay;
         }
-        let (best_pair, _) = scores
+        let (best_pair, _) = scores.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
+        tuples
             .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))?;
-        tuples.into_iter().rev().find(|t| t.pair() == best_pair).copied()
+            .rev()
+            .find(|t| t.pair() == best_pair)
+            .copied()
     }
 
     fn name(&self) -> &'static str {

@@ -52,7 +52,10 @@ fn fixture(cfg: CesrmConfig) -> Fixture {
     let wire = Rc::new(RefCell::new(Wire::default()));
     let mut sim = Simulator::new(tree(), NetConfig::default().with_seed(5));
     sim.set_observer(Box::new(Rc::clone(&wire)));
-    sim.attach_agent(ME, Box::new(CesrmAgent::receiver(ME, SOURCE, cfg, log.clone())));
+    sim.attach_agent(
+        ME,
+        Box::new(CesrmAgent::receiver(ME, SOURCE, cfg, log.clone())),
+    );
     Fixture { sim, wire, log }
 }
 
@@ -161,8 +164,7 @@ fn expeditious_requestor_unicasts_to_cached_replier() {
     // REORDER-DELAY is 0: the expedited request goes out at once; run a
     // little longer so its hops propagate to the replier.
     let sent_at = f.sim.now();
-    f.sim
-        .run_until(sent_at + SimDuration::from_millis(100));
+    f.sim.run_until(sent_at + SimDuration::from_millis(100));
     let wire = f.wire.borrow();
     let expedited: Vec<_> = wire
         .sends
@@ -217,7 +219,10 @@ fn expeditious_replier_answers_immediately_when_it_holds_the_packet() {
         .filter(|(_, n, k, _)| *n == ME && *k == PacketKind::ExpeditedReply)
         .collect();
     assert_eq!(sent.len(), 1, "expedited reply expected");
-    assert_eq!(sent[0].0, before, "no suppression delay on expedited replies");
+    assert_eq!(
+        sent[0].0, before,
+        "no suppression delay on expedited replies"
+    );
     assert_eq!(sent[0].3, CastClass::Multicast);
 }
 

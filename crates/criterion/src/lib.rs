@@ -1,0 +1,173 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build offline, so the bench targets under
+//! `crates/bench` link against this minimal harness instead of the real
+//! criterion. It implements the subset those targets use — `Criterion`,
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], `criterion_group!` and `criterion_main!` — measuring
+//! with `std::time::Instant` and printing one summary line per benchmark:
+//!
+//! ```text
+//! bench  table1/generate/RFV1        median   1.234 ms/iter  (10 samples)
+//! ```
+//!
+//! No statistical analysis, plotting or baseline comparison is performed;
+//! for rigorous numbers run the real criterion on a networked machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the median sample.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.per_iter);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "bench  {:<40} median {:>12}  ({} samples)",
+            format!("{}/{}", self.name, id),
+            format_duration(median),
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The timing handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then enough iterations to cover ~5 ms so very
+        // cheap bodies are not dominated by timer resolution.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed();
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.per_iter = start.elapsed() / iters;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s/iter", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms/iter", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs/iter", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns/iter")
+    }
+}
+
+/// Prevents the optimizer from discarding `value` (re-export parity with
+/// criterion's `black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 3, "closure should run at least once per sample");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(format_duration(Duration::from_nanos(12)).ends_with("ns/iter"));
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs/iter"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms/iter"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with("s/iter"));
+    }
+}

@@ -3,10 +3,15 @@
 //! ```text
 //! cargo run --release -p harness --bin reproduce -- [--scale F] [--seed N]
 //!     [--traces 1,2,3] [--link-delay-ms MS] [--lossy-recovery]
+//!     [--jobs N] [--timings] [--seeds N] [--csv-dir DIR]
 //! ```
 //!
 //! At `--scale 1.0` (default) the full Table-1 packet counts are reenacted;
-//! use `--scale 0.1` for a quick pass with the same loss rates.
+//! use `--scale 0.1` for a quick pass with the same loss rates. The 28
+//! (trace × protocol) reenactments fan out across `--jobs` worker threads
+//! (default: `CESRM_JOBS` or all cores; results are identical at any
+//! setting) and `--timings` prints the per-run wall clock and the observed
+//! speedup over a serial run.
 
 use harness::{run_suite, SuiteConfig};
 
@@ -14,6 +19,7 @@ fn main() {
     let mut cfg = SuiteConfig::paper_default();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut seeds: u32 = 1;
+    let mut timings = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +51,14 @@ fn main() {
                 cfg = cfg.with_link_delay_ms(ms);
             }
             "--lossy-recovery" => cfg.experiment.lossy_recovery = true,
+            "--jobs" => {
+                cfg.jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs requires a worker count"),
+                );
+            }
+            "--timings" => timings = true,
             "--seeds" => {
                 seeds = args
                     .next()
@@ -63,11 +77,12 @@ fn main() {
         }
     }
     eprintln!(
-        "running suite: scale {:.3}, seed {}, link delay {}, lossy recovery {}",
+        "running suite: scale {:.3}, seed {}, link delay {}, lossy recovery {}, jobs {}",
         cfg.scale,
         cfg.seed,
         cfg.experiment.net.link_delay,
-        cfg.experiment.lossy_recovery
+        cfg.experiment.lossy_recovery,
+        harness::resolve_jobs(cfg.jobs),
     );
     let result = run_suite(&cfg);
     println!("{}", result.table1_text());
@@ -81,6 +96,16 @@ fn main() {
     println!("{}", result.fig4_text());
     println!("{}", result.fig5_text());
     println!("{}", result.summary_text());
+    if timings {
+        println!("{}", result.timings_text());
+    }
+    eprintln!(
+        "suite wall clock: {:.3} s with {} worker threads ({:.2}x over serial-equivalent {:.3} s)",
+        result.timing.wall.as_secs_f64(),
+        result.timing.jobs,
+        result.timing.speedup(),
+        result.timing.cpu_total().as_secs_f64(),
+    );
     if let Some(dir) = csv_dir {
         match result.write_csv_files(&dir) {
             Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
@@ -91,7 +116,9 @@ fn main() {
         }
     }
     if seeds > 1 {
-        let list: Vec<u64> = (0..seeds as u64).map(|i| cfg.seed.wrapping_add(i)).collect();
+        let list: Vec<u64> = (0..seeds as u64)
+            .map(|i| cfg.seed.wrapping_add(i))
+            .collect();
         eprintln!("sweeping {} seeds for dispersion...", list.len());
         let sweep = harness::seed_sweep(&cfg, &list);
         println!("Across-seed dispersion ({} seeds):", sweep.runs);

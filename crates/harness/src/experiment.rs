@@ -7,9 +7,7 @@ use metrics::{
     per_receiver_reports, OverheadBreakdown, PacketKind, ReceiverReport, RecoveryLog,
     TrafficCollector,
 };
-use netsim::{
-    NetConfig, ProbabilisticLoss, SeqNo, SimDuration, SimTime, Simulator, TraceLoss,
-};
+use netsim::{NetConfig, ProbabilisticLoss, SeqNo, SimDuration, SimTime, Simulator, TraceLoss};
 use srm::{SourceConfig, SrmAgent, SrmParams};
 use topology::NodeId;
 use traces::Trace;
@@ -160,10 +158,8 @@ pub fn run_trace(trace: &Trace, protocol: Protocol, cfg: &ExperimentConfig) -> R
     // representation driving the loss injection.
     let rates = yajnik_rates(trace);
     let (drops, attribution) = infer_link_drops(trace, &rates);
-    let plan: Vec<(topology::LinkId, SeqNo)> = drops
-        .pairs()
-        .map(|(l, s)| (l, SeqNo(s as u64)))
-        .collect();
+    let plan: Vec<(topology::LinkId, SeqNo)> =
+        drops.pairs().map(|(l, s)| (l, SeqNo(s as u64))).collect();
 
     let tree = trace.tree().clone();
     let router_assist = matches!(protocol, Protocol::Cesrm(c) if c.router_assist);

@@ -16,19 +16,25 @@
 //! 5. Aggregate per-receiver recovery latencies, packet counts and
 //!    link-crossing overhead into the series of Fig. 1–5 and Table 1.
 //!
-//! [`run_suite`] drives all 14 traces; [`SuiteResult`] renders each table
-//! and figure as paper-style text. The `reproduce` binary ties it together:
+//! [`run_suite`] drives all 14 traces, fanning the 28 (trace × protocol)
+//! reenactments across a bounded worker pool ([`runner`]) — every run is an
+//! independent simulation, so the merge back into Table-1 order is
+//! deterministic and the results are byte-identical at any worker count.
+//! [`SuiteResult`] renders each table and figure as paper-style text. The
+//! `reproduce` binary ties it together:
 //!
 //! ```text
-//! cargo run --release -p harness --bin reproduce -- --scale 0.1
+//! cargo run --release -p harness --bin reproduce -- --scale 0.1 --jobs 8 --timings
 //! ```
 
 mod csv;
 mod experiment;
 mod render;
+pub mod runner;
 mod suite;
 mod sweep;
 
 pub use experiment::{run_trace, ExperimentConfig, Protocol, RecoverySample, RunMetrics};
-pub use suite::{run_suite, SuiteConfig, SuiteResult, TracePair};
+pub use runner::{default_parallelism, resolve_jobs, run_indexed, RunTiming, SuiteTiming};
+pub use suite::{run_suite, run_suites, SuiteConfig, SuiteResult, TracePair};
 pub use sweep::{seed_sweep, Stat, SweepSummary};

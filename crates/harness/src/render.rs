@@ -17,7 +17,15 @@ impl SuiteResult {
         let _ = writeln!(
             s,
             "{:>2}  {:<10} {:>5} {:>5} {:>10} {:>12} {:>8} {:>14} {:>16}",
-            "#", "Name", "Rcvrs", "Depth", "Period(ms)", "Duration(s)", "Pkts", "Losses(target)", "Losses(realized)"
+            "#",
+            "Name",
+            "Rcvrs",
+            "Depth",
+            "Period(ms)",
+            "Duration(s)",
+            "Pkts",
+            "Losses(target)",
+            "Losses(realized)"
         );
         for p in &self.pairs {
             let _ = writeln!(
@@ -67,7 +75,10 @@ impl SuiteResult {
     /// SRM vs CESRM.
     pub fn fig1_text(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Figure 1  Per-receiver average normalized recovery time (RTT units)");
+        let _ = writeln!(
+            s,
+            "Figure 1  Per-receiver average normalized recovery time (RTT units)"
+        );
         for p in &self.pairs {
             let _ = writeln!(s, "Trace {}:", p.spec.name);
             let _ = writeln!(s, "  {:>8} {:>8} {:>8}", "Receiver", "SRM", "CESRM");
@@ -213,8 +224,7 @@ impl SuiteResult {
             }
         };
         for p in &self.pairs {
-            let mut srm: LatencyHistogram =
-                p.srm.samples.iter().map(|x| x.norm_latency).collect();
+            let mut srm: LatencyHistogram = p.srm.samples.iter().map(|x| x.norm_latency).collect();
             let mut exp: LatencyHistogram = p
                 .cesrm
                 .samples
@@ -246,7 +256,10 @@ impl SuiteResult {
     /// SRM and CESRM average normalized recovery times side by side.
     pub fn fig1_chart(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Figure 1 (chart)  avg normalized recovery time, one row pair per receiver");
+        let _ = writeln!(
+            s,
+            "Figure 1 (chart)  avg normalized recovery time, one row pair per receiver"
+        );
         let scale = 3.5f64; // the paper's y-axis tops out at 3.5 RTT
         let width = 40usize;
         let bar = |v: f64| -> String {
@@ -279,8 +292,43 @@ impl SuiteResult {
         let mut s = String::new();
         let _ = writeln!(s, "Trace loss locality (synthetic)");
         for p in &self.pairs {
-            let _ = writeln!(s, "{:>2}  {:<10} {}", p.spec.number, p.spec.name, p.trace_stats);
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {}",
+                p.spec.number, p.spec.name, p.trace_stats
+            );
         }
+        s
+    }
+
+    /// Per-run wall-clock timings of this invocation: one line per
+    /// (trace × protocol) reenactment plus the pool's end-to-end wall
+    /// clock, serial-equivalent cost and observed speedup.
+    pub fn timings_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Run timings ({} worker threads)", self.timing.jobs);
+        let _ = writeln!(
+            s,
+            "{:>2}  {:<10} {:<6} {:>12}",
+            "#", "Name", "Proto", "Wall"
+        );
+        for run in &self.timing.runs {
+            let _ = writeln!(
+                s,
+                "{:>2}  {:<10} {:<6} {:>9.3} s",
+                run.trace,
+                run.name,
+                run.protocol,
+                run.wall.as_secs_f64()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "wall {:.3} s, serial-equivalent {:.3} s, speedup {:.2}x",
+            self.timing.wall.as_secs_f64(),
+            self.timing.cpu_total().as_secs_f64(),
+            self.timing.speedup()
+        );
         s
     }
 }

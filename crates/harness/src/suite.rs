@@ -1,7 +1,10 @@
+use std::time::{Duration, Instant};
+
 use cesrm::CesrmConfig;
 use netsim::SimDuration;
 use traces::{table1, LossStats, TraceSpec};
 
+use crate::runner::{resolve_jobs, run_indexed, RunTiming, SuiteTiming};
 use crate::{run_trace, ExperimentConfig, Protocol, RunMetrics};
 
 /// Configuration of a full evaluation-suite run over the Table-1 traces.
@@ -19,6 +22,11 @@ pub struct SuiteConfig {
     pub experiment: ExperimentConfig,
     /// CESRM configuration (the paper default unless ablating).
     pub cesrm: CesrmConfig,
+    /// Worker threads for the (trace × protocol) fan-out. `None` defers to
+    /// the `CESRM_JOBS` environment variable and then to
+    /// `available_parallelism()`; `Some(1)` forces the serial path. Results
+    /// are byte-identical at every setting — only wall-clock changes.
+    pub jobs: Option<usize>,
 }
 
 impl SuiteConfig {
@@ -30,6 +38,7 @@ impl SuiteConfig {
             traces: None,
             experiment: ExperimentConfig::paper_default(),
             cesrm: CesrmConfig::paper_default(),
+            jobs: None,
         }
     }
 
@@ -45,6 +54,32 @@ impl SuiteConfig {
     pub fn with_link_delay_ms(mut self, ms: u64) -> Self {
         self.experiment.net.link_delay = SimDuration::from_millis(ms);
         self
+    }
+
+    /// Sets the worker-thread count (0 and 1 both mean serial).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// The (possibly scaled) specs this configuration selects, in Table-1
+    /// order.
+    fn selected_specs(&self) -> Vec<TraceSpec> {
+        table1()
+            .into_iter()
+            .filter(|spec| {
+                self.traces
+                    .as_ref()
+                    .is_none_or(|only| only.contains(&spec.number))
+            })
+            .map(|spec| {
+                if self.scale < 1.0 {
+                    spec.scaled(self.scale)
+                } else {
+                    spec
+                }
+            })
+            .collect()
     }
 }
 
@@ -100,38 +135,139 @@ pub struct SuiteResult {
     pub scale: f64,
     /// Per-trace results, in Table-1 order.
     pub pairs: Vec<TracePair>,
+    /// Wall-clock observability of this invocation. Timing never feeds
+    /// back into the measurements: two runs of equal configuration have
+    /// equal `pairs` (and CSV output) regardless of `jobs`.
+    pub timing: SuiteTiming,
 }
 
-/// Runs the evaluation suite per `cfg`.
-pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
-    assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must lie in (0, 1]");
-    let mut pairs = Vec::new();
-    for spec in table1() {
-        if let Some(only) = &cfg.traces {
-            if !only.contains(&spec.number) {
-                continue;
-            }
-        }
-        let spec = if cfg.scale < 1.0 {
-            spec.scaled(cfg.scale)
-        } else {
-            spec
-        };
-        let (trace, truth) = spec.generate_with_truth(cfg.seed);
-        let trace_stats = LossStats::from_trace(&trace, Some(&truth));
-        let srm = run_trace(&trace, Protocol::Srm, &cfg.experiment);
-        let cesrm = run_trace(&trace, Protocol::Cesrm(cfg.cesrm), &cfg.experiment);
-        pairs.push(TracePair {
-            spec,
+/// A fully owned description of one (trace × protocol × seed) reenactment;
+/// `Send`, unlike the simulator it constructs on its worker thread.
+#[derive(Clone, Debug)]
+struct RunJob {
+    spec: TraceSpec,
+    protocol: Protocol,
+    seed: u64,
+    experiment: ExperimentConfig,
+}
+
+/// What one job sends back through the pool.
+struct RunOutput {
+    spec: TraceSpec,
+    metrics: RunMetrics,
+    /// Computed once per trace, by the SRM job (both protocols reenact the
+    /// identical synthesized trace).
+    trace_stats: Option<LossStats>,
+    timing: RunTiming,
+}
+
+impl RunJob {
+    fn execute(&self) -> RunOutput {
+        let started = Instant::now();
+        let (trace, truth) = self.spec.generate_with_truth(self.seed);
+        let trace_stats = matches!(self.protocol, Protocol::Srm)
+            .then(|| LossStats::from_trace(&trace, Some(&truth)));
+        let metrics = run_trace(&trace, self.protocol, &self.experiment);
+        RunOutput {
+            spec: self.spec.clone(),
+            metrics,
             trace_stats,
-            srm,
-            cesrm,
+            timing: RunTiming {
+                trace: self.spec.number,
+                name: self.spec.name,
+                protocol: match self.protocol {
+                    Protocol::Srm => "SRM",
+                    Protocol::Cesrm(_) => "CESRM",
+                },
+                wall: started.elapsed(),
+            },
+        }
+    }
+}
+
+/// Expands one suite configuration into its job list: Table-1 order, SRM
+/// before CESRM per trace. Slot index = `2 × trace_index + protocol`.
+fn suite_jobs(cfg: &SuiteConfig, seed: u64) -> Vec<RunJob> {
+    cfg.selected_specs()
+        .into_iter()
+        .flat_map(|spec| {
+            [Protocol::Srm, Protocol::Cesrm(cfg.cesrm)].map(|protocol| RunJob {
+                spec: spec.clone(),
+                protocol,
+                seed,
+                experiment: cfg.experiment,
+            })
+        })
+        .collect()
+}
+
+/// Folds a slot-ordered run list back into per-trace pairs.
+fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
+    assert!(
+        outputs.len().is_multiple_of(2),
+        "jobs come in SRM/CESRM pairs"
+    );
+    let mut pairs = Vec::with_capacity(outputs.len() / 2);
+    let mut runs = Vec::with_capacity(outputs.len());
+    let mut it = outputs.into_iter();
+    while let (Some(srm), Some(cesrm)) = (it.next(), it.next()) {
+        runs.push(srm.timing.clone());
+        runs.push(cesrm.timing.clone());
+        pairs.push(TracePair {
+            spec: srm.spec,
+            trace_stats: srm
+                .trace_stats
+                .expect("the SRM job computes the trace statistics"),
+            srm: srm.metrics,
+            cesrm: cesrm.metrics,
         });
     }
     SuiteResult {
         scale: cfg.scale,
         pairs,
+        timing: SuiteTiming {
+            jobs: 0,
+            wall: Duration::ZERO,
+            runs,
+        },
     }
+}
+
+/// Runs the evaluation suite per `cfg`, fanning the (trace × protocol)
+/// reenactments across worker threads (see [`crate::runner`]); results and
+/// derived artifacts are identical at every worker count.
+pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
+    run_suites(cfg, &[cfg.seed])
+        .pop()
+        .expect("one seed yields one result")
+}
+
+/// Runs the suite once per seed through a single shared worker pool, so a
+/// multi-seed sweep saturates the machine even when each suite is small.
+/// Results are in `seeds` order and independent of the worker count.
+pub fn run_suites(cfg: &SuiteConfig, seeds: &[u64]) -> Vec<SuiteResult> {
+    assert!(
+        cfg.scale > 0.0 && cfg.scale <= 1.0,
+        "scale must lie in (0, 1]"
+    );
+    let started = Instant::now();
+    let per_seed: Vec<Vec<RunJob>> = seeds.iter().map(|&s| suite_jobs(cfg, s)).collect();
+    let stride = per_seed.first().map_or(0, Vec::len);
+    let jobs: Vec<RunJob> = per_seed.into_iter().flatten().collect();
+    let workers = resolve_jobs(cfg.jobs);
+    let outputs = run_indexed(jobs, workers, |_, job| job.execute());
+
+    let mut results = Vec::with_capacity(seeds.len());
+    let mut remaining = outputs;
+    for _ in seeds {
+        let rest = remaining.split_off(stride.min(remaining.len()));
+        let mut result = assemble(cfg, remaining);
+        result.timing.jobs = workers;
+        result.timing.wall = started.elapsed();
+        results.push(result);
+        remaining = rest;
+    }
+    results
 }
 
 #[cfg(test)]
@@ -184,6 +320,33 @@ mod tests {
                 p.retransmission_overhead_ratio()
             );
         }
+    }
+
+    #[test]
+    fn timings_cover_every_run() {
+        let r = tiny_suite();
+        assert_eq!(r.timing.runs.len(), 2 * r.pairs.len());
+        assert!(r.timing.jobs >= 1);
+        assert!(r.timing.wall >= Duration::ZERO);
+        assert_eq!(r.timing.runs[0].protocol, "SRM");
+        assert_eq!(r.timing.runs[1].protocol, "CESRM");
+        assert_eq!(r.timing.runs[0].trace, 4);
+        assert!(r.timing.cpu_total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_seed_batch_matches_individual_runs() {
+        let mut cfg = SuiteConfig::quick(0.01);
+        cfg.traces = Some(vec![4]);
+        let batch = run_suites(&cfg, &[1, 2]);
+        assert_eq!(batch.len(), 2);
+        let mut solo = cfg.clone();
+        solo.seed = 2;
+        let alone = run_suite(&solo);
+        assert_eq!(
+            format!("{:?}", batch[1].pairs),
+            format!("{:?}", alone.pairs)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Multi-seed sweeps: the trace synthesis is stochastic, so headline
 //! metrics should be reported with across-seed dispersion.
 
-use crate::{run_suite, SuiteConfig};
+use crate::{run_suites, SuiteConfig};
 
 /// Mean and standard deviation of a sample.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -43,15 +43,16 @@ pub struct SweepSummary {
 }
 
 /// Runs the suite once per seed and summarizes the headline metrics.
+///
+/// All seeds share one worker pool (see [`crate::runner`]), so the sweep's
+/// (seed × trace × protocol) runs fan out together and the summary is
+/// identical at every worker count.
 pub fn seed_sweep(cfg: &SuiteConfig, seeds: &[u64]) -> SweepSummary {
     assert!(!seeds.is_empty(), "at least one seed required");
     let mut reductions = Vec::new();
     let mut successes = Vec::new();
     let mut retrans = Vec::new();
-    for &seed in seeds {
-        let mut c = cfg.clone();
-        c.seed = seed;
-        let result = run_suite(&c);
+    for result in run_suites(cfg, seeds) {
         let n = result.pairs.len().max(1) as f64;
         reductions.push(
             result
@@ -107,14 +108,8 @@ mod tests {
         assert_eq!(summary.runs, 3);
         // The effect is robust: every seed should show a solid reduction,
         // so the mean is well above zero and the spread moderate.
-        assert!(
-            summary.latency_reduction_pct.mean > 20.0,
-            "{summary:?}"
-        );
-        assert!(
-            summary.latency_reduction_pct.sd < 20.0,
-            "{summary:?}"
-        );
+        assert!(summary.latency_reduction_pct.mean > 20.0, "{summary:?}");
+        assert!(summary.latency_reduction_pct.sd < 20.0, "{summary:?}");
         assert!(summary.retransmission_pct.mean < 100.0, "{summary:?}");
     }
 

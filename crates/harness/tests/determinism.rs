@@ -1,0 +1,83 @@
+//! The parallel runner's core guarantee: a suite run is a pure function of
+//! its configuration — worker count changes wall-clock only, never results.
+
+use harness::{run_suite, SuiteConfig};
+
+fn scaled_config() -> SuiteConfig {
+    let mut cfg = SuiteConfig::quick(0.01);
+    // Three traces of different shapes keep the job queue busy enough for
+    // genuine interleaving while staying test-fast.
+    cfg.traces = Some(vec![1, 4, 13]);
+    cfg
+}
+
+/// `jobs = 1` and `jobs = 4` must produce identical `SuiteResult`s: same
+/// per-trace `RunMetrics` (compared exhaustively through `Debug`, which
+/// exposes every field bit of every sample) and byte-identical CSVs.
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    let serial = run_suite(&scaled_config().with_jobs(1));
+    let parallel = run_suite(&scaled_config().with_jobs(4));
+
+    assert_eq!(serial.pairs.len(), 3);
+    assert_eq!(parallel.pairs.len(), 3);
+    assert_eq!(serial.timing.jobs, 1);
+    assert_eq!(parallel.timing.jobs, 4);
+
+    // Exhaustive field-for-field comparison of all measurements.
+    assert_eq!(
+        format!("{:?}", serial.pairs),
+        format!("{:?}", parallel.pairs),
+        "per-trace metrics must not depend on the worker count"
+    );
+
+    // Every derived CSV artifact must also be byte-identical.
+    let dir_s = std::env::temp_dir().join("cesrm_determinism_serial");
+    let dir_p = std::env::temp_dir().join("cesrm_determinism_parallel");
+    let files_s = serial.write_csv_files(&dir_s).unwrap();
+    let files_p = parallel.write_csv_files(&dir_p).unwrap();
+    assert_eq!(files_s.len(), files_p.len());
+    for (a, b) in files_s.iter().zip(&files_p) {
+        let bytes_a = std::fs::read(a).unwrap();
+        let bytes_b = std::fs::read(b).unwrap();
+        assert_eq!(
+            bytes_a,
+            bytes_b,
+            "CSV diverged between jobs=1 and jobs=4: {}",
+            a.file_name().unwrap().to_string_lossy()
+        );
+        assert!(!bytes_a.is_empty());
+    }
+    std::fs::remove_dir_all(&dir_s).ok();
+    std::fs::remove_dir_all(&dir_p).ok();
+}
+
+/// Repeating the same parallel run yields the same results (no hidden
+/// scheduling dependence), and a different seed yields different ones.
+#[test]
+fn parallel_runs_are_repeatable_and_seed_sensitive() {
+    let a = run_suite(&scaled_config().with_jobs(4));
+    let b = run_suite(&scaled_config().with_jobs(4));
+    assert_eq!(format!("{:?}", a.pairs), format!("{:?}", b.pairs));
+
+    let mut other = scaled_config().with_jobs(4);
+    other.seed ^= 0xDEAD_BEEF;
+    let c = run_suite(&other);
+    assert_ne!(
+        format!("{:?}", a.pairs),
+        format!("{:?}", c.pairs),
+        "a different synthesis seed must change the measurements"
+    );
+}
+
+/// The multi-seed batch entry point is deterministic too, seed by seed.
+#[test]
+fn batched_seeds_are_deterministic() {
+    let cfg = scaled_config();
+    let serial = harness::run_suites(&cfg.clone().with_jobs(1), &[7, 8]);
+    let parallel = harness::run_suites(&cfg.with_jobs(4), &[7, 8]);
+    assert_eq!(serial.len(), 2);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(format!("{:?}", s.pairs), format!("{:?}", p.pairs));
+    }
+}

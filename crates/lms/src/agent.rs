@@ -241,7 +241,9 @@ impl LmsReceiver {
         } else {
             ctx.unicast(replier, body);
         }
-        self.log.borrow_mut().on_request_sent(self.me, self.pid(seq));
+        self.log
+            .borrow_mut()
+            .on_request_sent(self.me, self.pid(seq));
         self.arm_retry(ctx, seq);
     }
 
@@ -457,7 +459,10 @@ mod tests {
         let c = run.collector.borrow();
         assert!(c.crossings(PacketKind::Reply, CastClass::Subcast) > 0);
         // No multicast requests ever: LMS requests are unicast.
-        assert_eq!(c.crossings(PacketKind::ExpeditedRequest, CastClass::Multicast), 0);
+        assert_eq!(
+            c.crossings(PacketKind::ExpeditedRequest, CastClass::Multicast),
+            0
+        );
     }
 
     #[test]
@@ -495,9 +500,7 @@ mod tests {
         // keep dropping packets into n3's subtree. n5's requests keep
         // going to the dead n4 (whose escalation logic died with it), so
         // those losses stay unrecovered within the retry budget.
-        let drops: Vec<(LinkId, SeqNo)> = (60..90)
-            .map(|i| (LinkId(NodeId(3)), SeqNo(i)))
-            .collect();
+        let drops: Vec<(LinkId, SeqNo)> = (60..90).map(|i| (LinkId(NodeId(3)), SeqNo(i))).collect();
         // Crash n4 right before the lossy stretch starts (data begins at
         // t=2 s, packet 60 goes out at t=6.8 s).
         let run = run_lms(drops, 120, 80, Some((NodeId(4), 6)));
@@ -534,9 +537,7 @@ mod tests {
         let net = NetConfig::default().with_router_assist(true).with_seed(2);
         let log = RecoveryLog::shared();
         let mut sim = Simulator::new(tree.clone(), net);
-        let drops: Vec<(LinkId, SeqNo)> = (60..90)
-            .map(|i| (LinkId(NodeId(3)), SeqNo(i)))
-            .collect();
+        let drops: Vec<(LinkId, SeqNo)> = (60..90).map(|i| (LinkId(NodeId(3)), SeqNo(i))).collect();
         sim.set_loss(Box::new(TraceLoss::new(drops)));
         let mut table = ReplierTable::closest_receiver(&tree);
         table.set_replier(NodeId(3), NodeId(5));

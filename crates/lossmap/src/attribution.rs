@@ -63,10 +63,7 @@ impl<'t> Attributor<'t> {
             tree.receivers().len() <= 64,
             "at most 64 receivers supported"
         );
-        let rates = rates
-            .iter()
-            .map(|p| p.clamp(1e-6, 1.0 - 1e-6))
-            .collect();
+        let rates = rates.iter().map(|p| p.clamp(1e-6, 1.0 - 1e-6)).collect();
         Attributor {
             tree,
             rates,
@@ -229,9 +226,9 @@ mod tests {
                 .collect();
             // Antichain check: no chosen link strictly below another.
             let antichain = combo.iter().all(|&a| {
-                combo
-                    .iter()
-                    .all(|&b| a == b || !tree.is_ancestor_or_self(b.head(), a.head()) || a.head() == b.head())
+                combo.iter().all(|&b| {
+                    a == b || !tree.is_ancestor_or_self(b.head(), a.head()) || a.head() == b.head()
+                })
             });
             if !antichain {
                 continue;
@@ -241,11 +238,7 @@ mod tests {
                 .receivers()
                 .iter()
                 .copied()
-                .filter(|&r| {
-                    combo
-                        .iter()
-                        .any(|&l| tree.is_ancestor_or_self(l.head(), r))
-                })
+                .filter(|&r| combo.iter().any(|&l| tree.is_ancestor_or_self(l.head(), r)))
                 .collect();
             if produced != lost {
                 continue;

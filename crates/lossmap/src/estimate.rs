@@ -26,7 +26,9 @@ fn shared_loss_sets(trace: &Trace) -> Vec<BitSeq> {
             sets[idx] = acc.or_else(|| Some(BitSeq::new(k)));
         }
     }
-    sets.into_iter().map(|s| s.expect("all nodes visited")).collect()
+    sets.into_iter()
+        .map(|s| s.expect("all nodes visited"))
+        .collect()
 }
 
 /// Link loss-rate estimation by the subtree-intersection method of Yajnik
@@ -120,7 +122,8 @@ pub fn mle_rates(trace: &Trace) -> Vec<f64> {
         } else if tree.children(node).len() >= 2 {
             alpha[idx] = Some(solve_alpha(
                 gamma[idx],
-                &tree.children(node)
+                &tree
+                    .children(node)
                     .iter()
                     .map(|c| gamma[c.index()])
                     .collect::<Vec<_>>(),
@@ -156,7 +159,8 @@ fn solve_alpha(gamma_n: f64, child_gammas: &[f64]) -> f64 {
         // floor so the link above absorbs the loss.
         return lo_bound;
     }
-    let f = |a: f64| (1.0 - gamma_n / a) - child_gammas.iter().map(|&g| 1.0 - g / a).product::<f64>();
+    let f =
+        |a: f64| (1.0 - gamma_n / a) - child_gammas.iter().map(|&g| 1.0 - g / a).product::<f64>();
     let (mut lo, mut hi) = (lo_bound, 1.0);
     // f(lo) <= 0 (left term 0 or negative at γ_max) and f(1) >= 0 whenever
     // subtree observations are positively correlated; if not, fall back to
@@ -183,11 +187,7 @@ mod tests {
 
     /// Builds a trace directly from a per-link drop schedule for exact
     /// hand-checkable cases.
-    fn trace_from_drops(
-        tree: MulticastTree,
-        packets: usize,
-        drops: &[(LinkId, usize)],
-    ) -> Trace {
+    fn trace_from_drops(tree: MulticastTree, packets: usize, drops: &[(LinkId, usize)]) -> Trace {
         let mut plan = traces::LinkDrops::new(tree.len(), packets);
         for &(l, s) in drops {
             plan.add(l, s);
@@ -233,7 +233,11 @@ mod tests {
         // Link into n1: 1 drop out of 10 packets reaching the root.
         assert!((rates[1] - 0.1).abs() < 1e-9, "rate n1 = {}", rates[1]);
         // Link into n2: 2 drops out of the 9 packets that reached n1.
-        assert!((rates[2] - 2.0 / 9.0).abs() < 1e-9, "rate n2 = {}", rates[2]);
+        assert!(
+            (rates[2] - 2.0 / 9.0).abs() < 1e-9,
+            "rate n2 = {}",
+            rates[2]
+        );
         assert_eq!(rates[3], 0.0);
         assert_eq!(rates[4], 0.0);
     }
@@ -252,7 +256,11 @@ mod tests {
         );
         let rates = mle_rates(&trace);
         assert!((rates[1] - 0.1).abs() < 0.02, "rate n1 = {}", rates[1]);
-        assert!((rates[2] - 2.0 / 9.0).abs() < 0.03, "rate n2 = {}", rates[2]);
+        assert!(
+            (rates[2] - 2.0 / 9.0).abs() < 0.03,
+            "rate n2 = {}",
+            rates[2]
+        );
         assert!(rates[3] < 0.01);
         assert!(rates[4] < 0.01);
     }

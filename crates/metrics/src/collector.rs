@@ -1,11 +1,11 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use netsim::{CastClass, Direction, Packet, PacketBody, SimObserver, SimTime};
 use topology::{LinkId, NodeId};
 
 /// Classification of a packet for accounting purposes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PacketKind {
     /// Original data transmission.
     Data,
@@ -94,10 +94,15 @@ impl OverheadBreakdown {
 
 /// A [`SimObserver`] that counts packet sends per node and link crossings
 /// per packet kind and cast mode.
+///
+/// Counters live in `BTreeMap`s so every aggregate is computed in key
+/// order: runs are reproducible byte-for-byte across processes and worker
+/// threads (`HashMap`'s per-instance hash seed would reorder accumulation
+/// between otherwise identical runs).
 #[derive(Clone, Default, Debug)]
 pub struct TrafficCollector {
-    sends: HashMap<(NodeId, PacketKind), u64>,
-    crossings: HashMap<(PacketKind, CastClass), u64>,
+    sends: BTreeMap<(NodeId, PacketKind), u64>,
+    crossings: BTreeMap<(PacketKind, CastClass), u64>,
     drops: u64,
 }
 
@@ -154,7 +159,10 @@ impl TrafficCollector {
 
 impl SimObserver for TrafficCollector {
     fn on_send(&mut self, _now: SimTime, node: NodeId, packet: &Packet) {
-        *self.sends.entry((node, PacketKind::of(packet))).or_insert(0) += 1;
+        *self
+            .sends
+            .entry((node, PacketKind::of(packet)))
+            .or_insert(0) += 1;
     }
 
     fn on_link_crossing(&mut self, _now: SimTime, _link: LinkId, _dir: Direction, packet: &Packet) {
@@ -285,7 +293,10 @@ mod tests {
 
     #[test]
     fn display_of_kinds() {
-        assert_eq!(PacketKind::ExpeditedRequest.to_string(), "expedited-request");
+        assert_eq!(
+            PacketKind::ExpeditedRequest.to_string(),
+            "expedited-request"
+        );
         assert_eq!(PacketKind::Session.to_string(), "session");
     }
 }

@@ -75,8 +75,7 @@ impl LatencyHistogram {
             self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
     }
 

@@ -1,5 +1,5 @@
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use netsim::{PacketId, SimTime};
@@ -38,9 +38,14 @@ impl RecoveryRecord {
 /// Both `on_*` methods are idempotent in the way protocols need: the
 /// earliest detection and the earliest recovery win, later duplicates are
 /// ignored.
+///
+/// Records are keyed in a `BTreeMap` so iteration is in `(receiver, id)`
+/// order: aggregates derived from the log are byte-for-byte reproducible
+/// across processes and worker threads, which the parallel suite runner
+/// relies on (`HashMap` iteration order would perturb float accumulation).
 #[derive(Clone, Default, Debug)]
 pub struct RecoveryLog {
-    records: HashMap<(NodeId, PacketId), RecoveryRecord>,
+    records: BTreeMap<(NodeId, PacketId), RecoveryRecord>,
 }
 
 /// Shared handle to a [`RecoveryLog`]; one clone per agent plus one for the
@@ -122,7 +127,7 @@ impl RecoveryLog {
         self.records.contains_key(&(receiver, id))
     }
 
-    /// All records, in unspecified order.
+    /// All records, in ascending `(receiver, packet)` order.
     pub fn records(&self) -> impl Iterator<Item = &RecoveryRecord> {
         self.records.values()
     }

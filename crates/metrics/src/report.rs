@@ -249,8 +249,9 @@ mod tests {
     fn timeline_bins_are_dense_and_counted() {
         let mut log = RecoveryLog::new();
         // Recoveries at 1.0 s (normal), 1.1 s (expedited), 5.0 s (expedited).
-        for (i, (at_ms, expedited)) in
-            [(1_000u64, false), (1_100, true), (5_000, true)].iter().enumerate()
+        for (i, (at_ms, expedited)) in [(1_000u64, false), (1_100, true), (5_000, true)]
+            .iter()
+            .enumerate()
         {
             log.on_detect(NodeId(2), pid(i as u64), t(500));
             log.on_recover(NodeId(2), pid(i as u64), t(*at_ms), *expedited);

@@ -68,5 +68,5 @@ pub use packet::{
     CastClass, Packet, PacketBody, PacketId, RecoveryTuple, SeqNo, SessionData, SessionEcho,
 };
 pub use sim::Simulator;
-pub use tracer::{EventTracer, TraceEvent, TraceEventKind};
 pub use time::{SimDuration, SimTime};
+pub use tracer::{EventTracer, TraceEvent, TraceEventKind};

@@ -50,7 +50,13 @@ pub trait SimObserver {
 
     /// A packet was transmitted across `link` in direction `dir`. Called
     /// even when the packet is subsequently dropped on that link.
-    fn on_link_crossing(&mut self, _now: SimTime, _link: LinkId, _dir: Direction, _packet: &Packet) {
+    fn on_link_crossing(
+        &mut self,
+        _now: SimTime,
+        _link: LinkId,
+        _dir: Direction,
+        _packet: &Packet,
+    ) {
     }
 
     /// A packet was dropped on `link` (after the crossing was counted).

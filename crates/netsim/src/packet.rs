@@ -225,7 +225,7 @@ impl PacketBody {
 
 /// How a packet was sent — used for accounting, since unicast transmissions
 /// are substantially cheaper than multicast ones (paper §4.4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum CastClass {
     /// Multicast flood of the whole tree.
     Multicast,
@@ -262,11 +262,13 @@ impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.body {
             PacketBody::Data { id } => write!(f, "data {id}")?,
-            PacketBody::Request { id, requestor, .. } => {
-                write!(f, "request {id} by {requestor}")?
-            }
+            PacketBody::Request { id, requestor, .. } => write!(f, "request {id} by {requestor}")?,
             PacketBody::Reply { tuple, expedited } => {
-                let kind = if *expedited { "expedited-reply" } else { "reply" };
+                let kind = if *expedited {
+                    "expedited-reply"
+                } else {
+                    "reply"
+                };
                 write!(f, "{kind} {} by {}", tuple.id, tuple.replier)?
             }
             PacketBody::ExpeditedRequest { id, requestor, .. } => {

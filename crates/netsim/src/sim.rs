@@ -634,7 +634,10 @@ mod tests {
         // receivers (dense-mode flood), but not itself.
         let log: Log = Default::default();
         let mut sim = Simulator::new(sample_tree(), NetConfig::default());
-        sim.attach_agent(NodeId(4), sender(&log, CastKind::Multi, control_body(NodeId(4))));
+        sim.attach_agent(
+            NodeId(4),
+            sender(&log, CastKind::Multi, control_body(NodeId(4))),
+        );
         for &r in &[NodeId(2), NodeId(5), NodeId(6)] {
             sim.attach_agent(r, recorder(&log));
         }
@@ -786,7 +789,7 @@ mod tests {
         let entries = log.borrow();
         let t0: Vec<SimTime> = entries
             .iter()
-            .filter(|e| e.0 == NodeId(6) )
+            .filter(|e| e.0 == NodeId(6))
             .map(|e| e.1)
             .collect();
         assert_eq!(t0.len(), 2);
@@ -917,8 +920,18 @@ mod tests {
         struct TwoSender;
         impl Agent for TwoSender {
             fn on_start(&mut self, ctx: &mut Context<'_>) {
-                ctx.multicast(PacketBody::session(ctx.me(), ctx.now(), Some(SeqNo(1)), vec![]));
-                ctx.multicast(PacketBody::session(ctx.me(), ctx.now(), Some(SeqNo(2)), vec![]));
+                ctx.multicast(PacketBody::session(
+                    ctx.me(),
+                    ctx.now(),
+                    Some(SeqNo(1)),
+                    vec![],
+                ));
+                ctx.multicast(PacketBody::session(
+                    ctx.me(),
+                    ctx.now(),
+                    Some(SeqNo(2)),
+                    vec![],
+                ));
             }
             fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
             fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}

@@ -37,7 +37,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -83,7 +86,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -239,9 +245,18 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_millis(100);
         let u = t + SimDuration::from_millis(50);
         assert_eq!(u - t, SimDuration::from_millis(50));
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(30) / 3, SimDuration::from_millis(10));
-        assert_eq!(SimDuration::from_millis(30) / SimDuration::from_millis(10), 3.0);
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(30) / 3,
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            SimDuration::from_millis(30) / SimDuration::from_millis(10),
+            3.0
+        );
     }
 
     #[test]

@@ -261,11 +261,7 @@ mod tests {
     fn records_and_renders() {
         let mut t = EventTracer::new(8);
         t.on_send(SimTime::ZERO, NodeId(2), &request(5));
-        t.on_delivery(
-            SimTime::from_secs_f64(0.1),
-            NodeId(3),
-            &request(5),
-        );
+        t.on_delivery(SimTime::from_secs_f64(0.1), NodeId(3), &request(5));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         let s = t.render();

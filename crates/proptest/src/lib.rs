@@ -1,0 +1,392 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace must build offline, so the subset of proptest's API used by
+//! the integration tests is reimplemented here: [`Strategy`] with
+//! [`Strategy::prop_map`], [`any`], range and tuple strategies,
+//! [`collection::vec`], [`Just`], `prop_oneof!`, and the [`proptest!`] test
+//! macro honoring [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! * **Deterministic cases.** Each test derives its random stream from a
+//!   stable hash of the test's name, so failures reproduce across runs and
+//!   machines — which the determinism-focused suite here prefers anyway.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic value source handed to strategies (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct Gen {
+    s: [u64; 4],
+}
+
+impl Gen {
+    /// Seeds the generator from an arbitrary label (e.g. the test name) via
+    /// FNV-1a, so every test owns a stable, independent stream.
+    pub fn deterministic(label: &str) -> Gen {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Gen {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn bits(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.bits() % n
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.generate(g))
+    }
+}
+
+/// A strategy producing a fixed value, cloned per case.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(g: &mut Gen) -> u64 {
+        g.bits()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> bool {
+        g.bits() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + g.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, g: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + g.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(g),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let len = self.size.clone().generate(g);
+            (0..len).map(|_| self.elem.generate(g)).collect()
+        }
+    }
+}
+
+/// The strategy built by `prop_oneof!`: picks one branch uniformly per case.
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union of `options`; panics if empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        let i = g.below(self.options.len() as u64) as usize;
+        self.options[i].generate(g)
+    }
+}
+
+/// Uniformly picks one of the given strategies per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($option)),+];
+        $crate::OneOf::new(options)
+    }};
+}
+
+/// Asserts a property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut gen = $crate::Gen::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut gen);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut g = crate::Gen::deterministic("bounds");
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut g);
+            assert!((3..9).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut g);
+            assert!((0.5..2.0).contains(&f));
+            let xs = crate::collection::vec(0u64..5, 1..4).generate(&mut g);
+            assert!((1..4).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut g = crate::Gen::deterministic("compose");
+        let s = prop_oneof![Just(40u64), Just(80u64)].prop_map(|v| v / 40);
+        for _ in 0..50 {
+            let v = s.generate(&mut g);
+            assert!(v == 1 || v == 2);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = crate::Gen::deterministic("x");
+        let mut b = crate::Gen::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multiple bindings, tuples and collections.
+        #[test]
+        fn macro_binds_multiple_strategies(
+            seed in any::<u64>(),
+            (a, b) in (0u64..10, 0usize..4),
+            flags in crate::collection::vec(any::<bool>(), 1..10),
+        ) {
+            let _ = seed;
+            prop_assert!(a < 10);
+            prop_assert!(b < 4);
+            prop_assert!(!flags.is_empty());
+            prop_assert_ne!(flags.len(), 0);
+            prop_assert_eq!(flags.len(), flags.iter().filter(|_| true).count());
+        }
+    }
+}

@@ -52,7 +52,12 @@ pub struct SrmAgent {
 impl SrmAgent {
     /// Creates the source endpoint on node `me` (which must be the tree
     /// root the data is disseminated from).
-    pub fn source(me: NodeId, params: SrmParams, cfg: SourceConfig, log: SharedRecoveryLog) -> Self {
+    pub fn source(
+        me: NodeId,
+        params: SrmParams,
+        cfg: SourceConfig,
+        log: SharedRecoveryLog,
+    ) -> Self {
         SrmAgent {
             core: SrmCore::new(me, me, params, Role::Source(cfg), log),
         }
@@ -143,12 +148,22 @@ mod tests {
         };
         sim.attach_agent(
             source,
-            Box::new(SrmAgent::source(source, SrmParams::default(), cfg, log.clone())),
+            Box::new(SrmAgent::source(
+                source,
+                SrmParams::default(),
+                cfg,
+                log.clone(),
+            )),
         );
         for &r in sim.tree().receivers().to_vec().iter() {
             sim.attach_agent(
                 r,
-                Box::new(SrmAgent::receiver(r, source, SrmParams::default(), log.clone())),
+                Box::new(SrmAgent::receiver(
+                    r,
+                    source,
+                    SrmParams::default(),
+                    log.clone(),
+                )),
             );
         }
         Setup {
@@ -214,8 +229,14 @@ mod tests {
     #[test]
     fn suppression_limits_duplicate_requests_and_replies() {
         // A shared loss near the source: all four receivers lose packet 5.
-        let mut s = setup(vec![(LinkId(topology::NodeId(1)), SeqNo(5)),
-                               (LinkId(topology::NodeId(6)), SeqNo(5))], 50, 4);
+        let mut s = setup(
+            vec![
+                (LinkId(topology::NodeId(1)), SeqNo(5)),
+                (LinkId(topology::NodeId(6)), SeqNo(5)),
+            ],
+            50,
+            4,
+        );
         run(&mut s, 40);
         let log = s.log.borrow();
         assert_eq!(log.len(), 4);

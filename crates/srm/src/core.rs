@@ -343,7 +343,9 @@ impl SrmCore {
             requestor: self.me,
             dist_req_src: dist,
         });
-        self.log.borrow_mut().on_request_sent(self.me, self.pid(seq));
+        self.log
+            .borrow_mut()
+            .on_request_sent(self.me, self.pid(seq));
         if let Some(state) = self.losses.get(&seq.value()) {
             self.timer_policy.on_request_sent(state.delay_over_d);
         }
@@ -382,7 +384,9 @@ impl SrmCore {
     fn receive_data(&mut self, ctx: &mut Context<'_>, seq: SeqNo) {
         // Store the packet before gap detection so the arriving packet is
         // not mistaken for its own loss.
-        self.mark_received(ctx, seq, /*via_reply=*/ false, /*expedited=*/ false);
+        self.mark_received(
+            ctx, seq, /*via_reply=*/ false, /*expedited=*/ false,
+        );
         self.note_exists(ctx, seq);
     }
 
@@ -585,7 +589,13 @@ impl SrmCore {
 
     /// Stores packet `seq`; if it was an outstanding loss, completes the
     /// recovery.
-    fn mark_received(&mut self, ctx: &mut Context<'_>, seq: SeqNo, via_reply: bool, expedited: bool) {
+    fn mark_received(
+        &mut self,
+        ctx: &mut Context<'_>,
+        seq: SeqNo,
+        via_reply: bool,
+        expedited: bool,
+    ) {
         if self.role.is_source() || !self.received.insert(seq.value()) {
             return;
         }

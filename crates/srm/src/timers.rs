@@ -61,7 +61,12 @@ impl TimerPolicy for FixedTimers {
     }
 
     fn weights(&self) -> (f64, f64, f64, f64) {
-        (self.params.c1, self.params.c2, self.params.d1, self.params.d2)
+        (
+            self.params.c1,
+            self.params.c2,
+            self.params.d1,
+            self.params.d2,
+        )
     }
 }
 
@@ -210,12 +215,18 @@ mod tests {
             a.on_duplicate_request();
         }
         let after = a.weights();
-        assert!(after.0 > before.0 || after.1 > before.1, "request weights should grow");
+        assert!(
+            after.0 > before.0 || after.1 > before.1,
+            "request weights should grow"
+        );
         for _ in 0..20 {
             a.on_duplicate_reply();
         }
         let final_w = a.weights();
-        assert!(final_w.2 >= after.2 && final_w.3 > after.3, "reply weights should grow");
+        assert!(
+            final_w.2 >= after.2 && final_w.3 > after.3,
+            "reply weights should grow"
+        );
     }
 
     #[test]

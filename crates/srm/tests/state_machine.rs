@@ -167,7 +167,8 @@ fn foreign_request_backs_off_to_the_next_round() {
     // A request from n3 arrives before our round-0 timer fires: our request
     // is pushed to round 1, i.e. it fires at ≥ 400 ms rather than ≤ 400 ms
     // (the reschedule interval starts afresh at the reception instant).
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(1_000));
     let reqs = request_times(&f);
@@ -187,8 +188,10 @@ fn backoff_abstinence_limits_one_backoff_per_round() {
     // Two foreign requests in the same instant: the second falls within the
     // back-off abstinence period (2^1 · C3 · d = 300 ms) and must not back
     // us off again — the request still fires within round 1's window.
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(2_000));
     let reqs = request_times(&f);
@@ -205,7 +208,8 @@ fn reply_scheduled_within_reply_window_and_annotated() {
     let mut f = fixture();
     // We hold packet 0; n3 requests it.
     f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(1_000));
     let replies = reply_times(&f);
@@ -230,7 +234,8 @@ fn reply_scheduled_within_reply_window_and_annotated() {
 fn hearing_a_reply_cancels_our_scheduled_reply() {
     let mut f = fixture();
     f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
     // Someone else answers before our reply timer fires.
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(50));
@@ -245,13 +250,15 @@ fn hearing_a_reply_cancels_our_scheduled_reply() {
 fn reply_abstinence_discards_duplicate_requests() {
     let mut f = fixture();
     f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
     // Let our reply fire (≤ 200 ms), then a duplicate request arrives
     // within the abstinence period D3·d(we→requestor): discarded.
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(210));
     assert_eq!(reply_times(&f).len(), 1);
-    f.sim.inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+    f.sim
+        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(320));
     assert_eq!(
@@ -301,8 +308,11 @@ fn session_report_detects_tail_loss() {
 #[test]
 fn session_echo_establishes_distance() {
     let mut f = fixture();
-    // Let our own session message go out first (jittered within 1 s).
-    f.sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    // Let our own session message go out first (jittered within 1 s), then
+    // run a further full period so the send is comfortably in the past —
+    // the jitter draw may land arbitrarily close to the 1 s mark, and the
+    // held_for arithmetic below needs at least 80 ms of elapsed time.
+    f.sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
     let our_session_at = f
         .sends
         .borrow()

@@ -23,7 +23,10 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::ChildlessRouter(n) => {
-                write!(f, "router {n} has no children; routers must be interior nodes")
+                write!(
+                    f,
+                    "router {n} has no children; routers must be interior nodes"
+                )
             }
             TreeError::ReceiverWithChildren(n) => {
                 write!(f, "receiver {n} has children; receivers must be leaves")

@@ -212,9 +212,7 @@ impl MulticastTree {
     /// Iterates over all links; each non-root node contributes the link from
     /// its parent into it.
     pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
-        self.nodes()
-            .filter(move |&n| n != NodeId::ROOT)
-            .map(LinkId)
+        self.nodes().filter(move |&n| n != NodeId::ROOT).map(LinkId)
     }
 
     /// Number of links (`len() - 1`).
@@ -369,7 +367,14 @@ impl MulticastTree {
 
     fn render_into(&self, n: NodeId, indent: usize, out: &mut String) {
         use fmt::Write as _;
-        let _ = writeln!(out, "{:indent$}{} ({})", "", n, self.kind(n), indent = indent * 2);
+        let _ = writeln!(
+            out,
+            "{:indent$}{} ({})",
+            "",
+            n,
+            self.kind(n),
+            indent = indent * 2
+        );
         for &c in self.children(n) {
             self.render_into(c, indent + 1, out);
         }
@@ -484,7 +489,10 @@ mod tests {
     #[test]
     fn neighbors_parent_then_children() {
         let t = sample();
-        assert_eq!(t.neighbors(NodeId(1)), vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            t.neighbors(NodeId(1)),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
         assert_eq!(t.neighbors(NodeId(0)), vec![NodeId(1), NodeId(6)]);
         assert_eq!(t.neighbors(NodeId(5)), vec![NodeId(3)]);
     }

@@ -64,7 +64,11 @@ fn gen(args: &[String]) -> ExitCode {
             }
         }
     }
-    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec.clone() };
+    let spec = if scale < 1.0 {
+        spec.scaled(scale)
+    } else {
+        spec.clone()
+    };
     eprintln!(
         "generating {} at scale {scale} ({} packets, target {} losses)",
         spec.name, spec.packets, spec.losses

@@ -148,7 +148,10 @@ mod tests {
             }
         }
         let mean = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
-        assert!((mean - 5.0).abs() < 0.25, "mean burst {mean} too far from 5");
+        assert!(
+            (mean - 5.0).abs() < 0.25,
+            "mean burst {mean} too far from 5"
+        );
     }
 
     #[test]

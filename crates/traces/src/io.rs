@@ -198,8 +198,7 @@ impl Trace {
                     let parent = match parts.next() {
                         Some("-") => None,
                         Some(p) => Some(NodeId(
-                            p.parse::<u32>()
-                                .map_err(|_| malformed("bad parent id"))?,
+                            p.parse::<u32>().map_err(|_| malformed("bad parent id"))?,
                         )),
                         None => return Err(malformed("node needs a parent or `-`")),
                     };
@@ -211,8 +210,7 @@ impl Trace {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| malformed("loss needs a receiver id"))?;
-                    let runs: Result<Vec<usize>, _> =
-                        parts.map(|v| v.parse::<usize>()).collect();
+                    let runs: Result<Vec<usize>, _> = parts.map(|v| v.parse::<usize>()).collect();
                     let runs = runs.map_err(|_| malformed("bad run length"))?;
                     loss_lines.push((line_no, id, runs));
                 }
@@ -314,7 +312,9 @@ mod tests {
     fn error_cases() {
         assert_eq!(Trace::from_text(""), Err(ParseTraceError::BadMagic));
         assert_eq!(
-            Trace::from_text("cesrm-trace v1\nperiod_ms 80\npackets 4\nnode 0 source -\nnode 1 receiver 0\n"),
+            Trace::from_text(
+                "cesrm-trace v1\nperiod_ms 80\npackets 4\nnode 0 source -\nnode 1 receiver 0\n"
+            ),
             Err(ParseTraceError::MissingHeader("name"))
         );
         let bad_runs = "cesrm-trace v1\nname X\nperiod_ms 80\npackets 4\n\
@@ -350,6 +350,8 @@ mod tests {
             what: "bad run length".into(),
         };
         assert_eq!(e.to_string(), "line 7: bad run length");
-        assert!(ParseTraceError::BadMagic.to_string().contains("cesrm-trace"));
+        assert!(ParseTraceError::BadMagic
+            .to_string()
+            .contains("cesrm-trace"));
     }
 }

@@ -69,12 +69,7 @@ impl LinkDrops {
     /// The link responsible for receiver `r` losing packet `seq`, if any:
     /// the topmost dropped link on the path from the source to `r` — the
     /// paper's `link(r)(i)`.
-    pub fn responsible_link(
-        &self,
-        tree: &MulticastTree,
-        r: NodeId,
-        seq: usize,
-    ) -> Option<LinkId> {
+    pub fn responsible_link(&self, tree: &MulticastTree, r: NodeId, seq: usize) -> Option<LinkId> {
         // Path links from source to r, topmost first.
         let mut links = tree.path_links(tree.root(), r);
         links.retain(|l| self.dropped(*l, seq));

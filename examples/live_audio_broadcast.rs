@@ -27,11 +27,7 @@ fn main() {
     let trace = spec.generate(42);
     let cfg = ExperimentConfig::paper_default();
     let srm = run_trace(&trace, Protocol::Srm, &cfg);
-    let cesrm = run_trace(
-        &trace,
-        Protocol::Cesrm(CesrmConfig::paper_default()),
-        &cfg,
-    );
+    let cesrm = run_trace(&trace, Protocol::Cesrm(CesrmConfig::paper_default()), &cfg);
 
     println!("\n{:<26} {:>10} {:>10}", "", "SRM", "CESRM");
     println!(
@@ -54,8 +50,6 @@ fn main() {
     }
     println!(
         "{:<26} {:>10} {:>10}",
-        "retransmission overhead",
-        srm.overhead.retransmissions,
-        cesrm.overhead.retransmissions
+        "retransmission overhead", srm.overhead.retransmissions, cesrm.overhead.retransmissions
     );
 }

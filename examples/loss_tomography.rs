@@ -11,8 +11,8 @@
 //! ```
 
 use lossmap::{infer_link_drops, mle_rates, yajnik_rates};
-use traces::{generate, GeneratorConfig, LossStats};
 use topology::TreeShape;
+use traces::{generate, GeneratorConfig, LossStats};
 
 fn main() {
     let cfg = GeneratorConfig {
@@ -36,10 +36,7 @@ fn main() {
     let yajnik = yajnik_rates(&trace);
     let mle = mle_rates(&trace);
     println!("\nper-link loss rates (ground truth vs estimates):");
-    println!(
-        "{:<8} {:>8} {:>8} {:>8}",
-        "link", "truth", "yajnik", "mle"
-    );
+    println!("{:<8} {:>8} {:>8} {:>8}", "link", "truth", "yajnik", "mle");
     for link in trace.tree().links() {
         let true_rate = truth.drops_on(link) as f64 / trace.packets() as f64;
         println!(

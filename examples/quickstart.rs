@@ -57,7 +57,10 @@ fn main() -> Result<(), topology::TreeError> {
         Box::new(CesrmAgent::source(source, cfg, source_cfg, log.clone())),
     );
     for &r in tree.receivers() {
-        sim.attach_agent(r, Box::new(CesrmAgent::receiver(r, source, cfg, log.clone())));
+        sim.attach_agent(
+            r,
+            Box::new(CesrmAgent::receiver(r, source, cfg, log.clone())),
+        );
     }
 
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));

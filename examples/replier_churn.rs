@@ -42,7 +42,10 @@ const END_SECS: u64 = 120;
 /// Recurring losses into n3's subtree (n4 and n5), before and after the
 /// crash of n4 — the subtree's natural designated replier.
 fn drops() -> Vec<(LinkId, SeqNo)> {
-    (10..580).step_by(4).map(|i| (LinkId(NodeId(3)), SeqNo(i))).collect()
+    (10..580)
+        .step_by(4)
+        .map(|i| (LinkId(NodeId(3)), SeqNo(i)))
+        .collect()
 }
 
 struct Outcome {

@@ -22,11 +22,7 @@ fn main() {
         trace.total_losses()
     );
     let cfg = ExperimentConfig::paper_default();
-    let plain = run_trace(
-        &trace,
-        Protocol::Cesrm(CesrmConfig::paper_default()),
-        &cfg,
-    );
+    let plain = run_trace(&trace, Protocol::Cesrm(CesrmConfig::paper_default()), &cfg);
     let assisted = run_trace(
         &trace,
         Protocol::Cesrm(CesrmConfig {

@@ -1,9 +1,7 @@
 //! Cross-checks the §3.4 closed-form latency analysis against measured
 //! simulation behavior.
 
-use cesrm::analysis::{
-    expedited_bound, non_expedited_avg_bound_rtt, predicted_gain_rtt,
-};
+use cesrm::analysis::{expedited_bound, non_expedited_avg_bound_rtt, predicted_gain_rtt};
 use cesrm::CesrmConfig;
 use harness::{run_trace, ExperimentConfig, Protocol};
 use netsim::SimDuration;
@@ -67,11 +65,7 @@ fn reorder_delay_shifts_expedited_latency() {
     // about reliability.
     let trace = table1()[3].scaled(0.03).generate(9);
     let cfg = ExperimentConfig::paper_default();
-    let fast = run_trace(
-        &trace,
-        Protocol::Cesrm(CesrmConfig::paper_default()),
-        &cfg,
-    );
+    let fast = run_trace(&trace, Protocol::Cesrm(CesrmConfig::paper_default()), &cfg);
     let delayed = run_trace(
         &trace,
         Protocol::Cesrm(CesrmConfig {

@@ -57,13 +57,7 @@ fn observer_sees_complete_causal_chains() {
         fn on_send(&mut self, _: SimTime, _: NodeId, _: &Packet) {
             self.sends += 1;
         }
-        fn on_link_crossing(
-            &mut self,
-            _: SimTime,
-            link: LinkId,
-            _: netsim::Direction,
-            _: &Packet,
-        ) {
+        fn on_link_crossing(&mut self, _: SimTime, link: LinkId, _: netsim::Direction, _: &Packet) {
             self.crossings.push(link);
         }
         fn on_delivery(&mut self, _: SimTime, _: NodeId, _: &Packet) {

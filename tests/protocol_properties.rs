@@ -60,7 +60,10 @@ fn run(
             Box::new(CesrmAgent::source(source, cfg, source_cfg, log.clone())),
         );
         for &r in tree.receivers() {
-            sim.attach_agent(r, Box::new(CesrmAgent::receiver(r, source, cfg, log.clone())));
+            sim.attach_agent(
+                r,
+                Box::new(CesrmAgent::receiver(r, source, cfg, log.clone())),
+            );
         }
     } else {
         let params = SrmParams::paper_default();
@@ -123,10 +126,7 @@ fn assert_full_reception(sim: &Simulator, cesrm: bool) {
 }
 
 /// Resolves the proptest-picked drop plan against a concrete tree.
-fn materialize(
-    tree: &MulticastTree,
-    picks: &[(usize, u64)],
-) -> Vec<(LinkId, SeqNo)> {
+fn materialize(tree: &MulticastTree, picks: &[(usize, u64)]) -> Vec<(LinkId, SeqNo)> {
     let links: Vec<LinkId> = tree.links().collect();
     picks
         .iter()
