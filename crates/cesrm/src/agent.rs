@@ -66,6 +66,9 @@ pub struct CesrmAgent {
     expedited: HashMap<TimerToken, (SeqNo, RecoveryTuple)>,
     /// Reverse index for cancellation: lost packet → armed token.
     pending: HashMap<u64, TimerToken>,
+    /// Structured-event trace for cache consults and expedited traffic; off
+    /// by default (see the `obs` crate).
+    trace: obs::TraceHandle,
 }
 
 impl CesrmAgent {
@@ -114,12 +117,24 @@ impl CesrmAgent {
             log,
             expedited: HashMap::new(),
             pending: HashMap::new(),
+            trace: obs::TraceHandle::off(),
         }
     }
 
     /// Read access to the optimal requestor/replier cache.
     pub fn cache(&self) -> &RecoveryCache {
         &self.cache
+    }
+
+    /// Builder-style installation of a structured-event trace handle (see
+    /// the `obs` crate): the expedited layer emits cache consults
+    /// (`cache_hit`/`cache_miss`/`cache_update`) and expedited traffic
+    /// (`xreq_sent`/`xrep_sent`); the underlying SRM engine gets a clone for
+    /// its scheduling/suppression events.
+    pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
+        self.core.set_trace(trace.clone());
+        self.trace = trace;
+        self
     }
 
     /// Handles a fired timer; returns `false` when the token belongs
@@ -141,10 +156,22 @@ impl CesrmAgent {
     /// Upon detecting a loss, decide whether this host is the expeditious
     /// requestor and arm the `REORDER-DELAY` timer if so (§3.2).
     fn consider_expedited(&mut self, ctx: &mut Context<'_>, seq: SeqNo) {
+        let me = self.core.me();
         let Some(tuple) = self.policy.select(&self.cache) else {
+            self.trace
+                .emit(ctx.now().as_nanos(), || obs::Event::CacheMiss {
+                    node: me.0,
+                    seq: seq.value(),
+                });
             return;
         };
-        let me = self.core.me();
+        self.trace
+            .emit(ctx.now().as_nanos(), || obs::Event::CacheHit {
+                node: me.0,
+                seq: seq.value(),
+                requestor: tuple.requestor.0,
+                replier: tuple.replier.0,
+            });
         if tuple.requestor != me || tuple.replier == me {
             return;
         }
@@ -183,6 +210,13 @@ impl CesrmAgent {
             },
         };
         ctx.unicast(tuple.replier, body);
+        let me = self.core.me();
+        self.trace
+            .emit(ctx.now().as_nanos(), || obs::Event::ExpeditedRequestSent {
+                node: me.0,
+                seq: seq.value(),
+                replier: tuple.replier.0,
+            });
     }
 
     /// The expeditious replier side (§3.2): immediately multicast (or, with
@@ -212,10 +246,24 @@ impl CesrmAgent {
             tuple,
             expedited: true,
         };
-        match (self.cfg.router_assist && ctx.router_assist(), turning_point) {
-            (true, Some(tp)) => ctx.subcast(tp, body),
-            _ => ctx.multicast(body),
-        }
+        let subcast = match (self.cfg.router_assist && ctx.router_assist(), turning_point) {
+            (true, Some(tp)) => {
+                ctx.subcast(tp, body);
+                true
+            }
+            _ => {
+                ctx.multicast(body);
+                false
+            }
+        };
+        let me = self.core.me();
+        self.trace
+            .emit(ctx.now().as_nanos(), || obs::Event::ExpeditedReplySent {
+                node: me.0,
+                seq: seq.value(),
+                requestor: requestor.0,
+                subcast,
+            });
         self.core.note_reply_sent(ctx, seq, requestor);
     }
 }
@@ -258,6 +306,14 @@ impl Agent for CesrmAgent {
                         None
                     };
                     self.cache.observe(t);
+                    let me = self.core.me();
+                    self.trace
+                        .emit(ctx.now().as_nanos(), || obs::Event::CacheUpdate {
+                            node: me.0,
+                            seq: t.id.seq.value(),
+                            requestor: t.requestor.0,
+                            replier: t.replier.0,
+                        });
                 }
             }
             PacketBody::Data { id } => {

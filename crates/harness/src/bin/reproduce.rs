@@ -4,6 +4,7 @@
 //! cargo run --release -p harness --bin reproduce -- [--scale F] [--seed N]
 //!     [--traces 1,2,3] [--link-delay-ms MS] [--lossy-recovery]
 //!     [--jobs N] [--timings] [--seeds N] [--csv-dir DIR]
+//!     [--trace FILE] [--trace-filter seq=N|receiver=N] [--trace-slowest N]
 //! ```
 //!
 //! At `--scale 1.0` (default) the full Table-1 packet counts are reenacted;
@@ -12,14 +13,22 @@
 //! (default: `CESRM_JOBS` or all cores; results are identical at any
 //! setting) and `--timings` prints the per-run wall clock and the observed
 //! speedup over a serial run.
+//!
+//! `--trace FILE` additionally captures every run's structured recovery
+//! events (see `docs/TRACING.md`), writes them as JSONL to `FILE`
+//! (optionally narrowed by `--trace-filter`), and prints the provenance
+//! coverage plus the `--trace-slowest` (default 10) slowest recoveries.
 
-use harness::{run_suite, SuiteConfig};
+use harness::{run_suite, SuiteConfig, TraceFilter};
 
 fn main() {
     let mut cfg = SuiteConfig::paper_default();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut seeds: u32 = 1;
     let mut timings = false;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut trace_filter = TraceFilter::default();
+    let mut trace_slowest: usize = 10;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,6 +79,26 @@ fn main() {
                     args.next().expect("--csv-dir requires a path"),
                 ));
             }
+            "--trace" => {
+                let path = args.next().expect("--trace requires an output path");
+                trace_path = Some(std::path::PathBuf::from(path));
+                cfg.capture_events = true;
+            }
+            "--trace-filter" => {
+                let expr = args
+                    .next()
+                    .expect("--trace-filter requires seq=N or receiver=N");
+                trace_filter = TraceFilter::parse(&expr).unwrap_or_else(|e| {
+                    eprintln!("bad --trace-filter: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--trace-slowest" => {
+                trace_slowest = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace-slowest requires a count");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -106,6 +135,31 @@ fn main() {
         result.timing.speedup(),
         result.timing.cpu_total().as_secs_f64(),
     );
+    if let Some(path) = trace_path {
+        match harness::write_jsonl(&path, &result.events, &trace_filter) {
+            Ok(lines) => eprintln!(
+                "wrote {} event lines ({} runs) to {}",
+                lines,
+                result.events.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace: {e}");
+                std::process::exit(1);
+            }
+        }
+        let cov = harness::coverage(&result.events);
+        println!(
+            "Provenance coverage: {}/{} losses with a complete timeline ({:.1}%), \
+             {} expedited / {} fallback",
+            cov.complete,
+            cov.losses,
+            100.0 * cov.fraction(),
+            cov.expedited,
+            cov.fallback
+        );
+        println!("{}", harness::slowest_text(&result.events, trace_slowest));
+    }
     if let Some(dir) = csv_dir {
         match result.write_csv_files(&dir) {
             Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),

@@ -154,6 +154,19 @@ impl RunMetrics {
 /// Reenacts `trace` under `protocol` per the paper's §4.3 methodology and
 /// returns the measurements.
 pub fn run_trace(trace: &Trace, protocol: Protocol, cfg: &ExperimentConfig) -> RunMetrics {
+    run_trace_traced(trace, protocol, cfg, &obs::TraceHandle::off())
+}
+
+/// Like [`run_trace`], but wires a structured-event trace handle (see the
+/// `obs` crate) into the simulator, the recovery log and every protocol
+/// agent. The handle is owned by this one reenactment — pass
+/// [`obs::TraceHandle::off`] (or call [`run_trace`]) for a zero-cost no-op.
+pub fn run_trace_traced(
+    trace: &Trace,
+    protocol: Protocol,
+    cfg: &ExperimentConfig,
+    events: &obs::TraceHandle,
+) -> RunMetrics {
     // §4.2: estimate link loss rates and build the link trace
     // representation driving the loss injection.
     let rates = yajnik_rates(trace);
@@ -173,7 +186,9 @@ pub fn run_trace(trace: &Trace, protocol: Protocol, cfg: &ExperimentConfig) -> R
     } else {
         sim.set_loss(Box::new(TraceLoss::new(plan)));
     }
+    sim.set_trace(events.clone());
     let log = RecoveryLog::shared();
+    log.borrow_mut().set_trace(events.clone());
     let collector = Rc::new(RefCell::new(TrafficCollector::new()));
     sim.set_observer(Box::new(Rc::clone(&collector)));
 
@@ -189,24 +204,36 @@ pub fn run_trace(trace: &Trace, protocol: Protocol, cfg: &ExperimentConfig) -> R
             let params = SrmParams::paper_default();
             sim.attach_agent(
                 source,
-                Box::new(SrmAgent::source(source, params, source_cfg, log.clone())),
+                Box::new(
+                    SrmAgent::source(source, params, source_cfg, log.clone())
+                        .with_trace(events.clone()),
+                ),
             );
             for &r in tree.receivers() {
                 sim.attach_agent(
                     r,
-                    Box::new(SrmAgent::receiver(r, source, params, log.clone())),
+                    Box::new(
+                        SrmAgent::receiver(r, source, params, log.clone())
+                            .with_trace(events.clone()),
+                    ),
                 );
             }
         }
         Protocol::Cesrm(ccfg) => {
             sim.attach_agent(
                 source,
-                Box::new(CesrmAgent::source(source, ccfg, source_cfg, log.clone())),
+                Box::new(
+                    CesrmAgent::source(source, ccfg, source_cfg, log.clone())
+                        .with_trace(events.clone()),
+                ),
             );
             for &r in tree.receivers() {
                 sim.attach_agent(
                     r,
-                    Box::new(CesrmAgent::receiver(r, source, ccfg, log.clone())),
+                    Box::new(
+                        CesrmAgent::receiver(r, source, ccfg, log.clone())
+                            .with_trace(events.clone()),
+                    ),
                 );
             }
         }

@@ -26,6 +26,11 @@
 //! ```text
 //! cargo run --release -p harness --bin reproduce -- --scale 0.1 --jobs 8 --timings
 //! ```
+//!
+//! `--trace FILE` additionally captures every run's structured recovery
+//! events (the `obs` crate; [`run_trace_traced`], [`SuiteConfig`]'s
+//! `capture_events`) as JSONL and prints the provenance coverage plus the
+//! slowest recoveries ([`tracing`]); schema in `docs/TRACING.md`.
 
 mod csv;
 mod experiment;
@@ -33,8 +38,12 @@ mod render;
 pub mod runner;
 mod suite;
 mod sweep;
+pub mod tracing;
 
-pub use experiment::{run_trace, ExperimentConfig, Protocol, RecoverySample, RunMetrics};
+pub use experiment::{
+    run_trace, run_trace_traced, ExperimentConfig, Protocol, RecoverySample, RunMetrics,
+};
 pub use runner::{default_parallelism, resolve_jobs, run_indexed, RunTiming, SuiteTiming};
-pub use suite::{run_suite, run_suites, SuiteConfig, SuiteResult, TracePair};
+pub use suite::{run_suite, run_suites, RunEventLog, SuiteConfig, SuiteResult, TracePair};
 pub use sweep::{seed_sweep, Stat, SweepSummary};
+pub use tracing::{coverage, slowest_text, write_jsonl, TraceCoverage, TraceFilter};

@@ -5,7 +5,7 @@ use netsim::SimDuration;
 use traces::{table1, LossStats, TraceSpec};
 
 use crate::runner::{resolve_jobs, run_indexed, RunTiming, SuiteTiming};
-use crate::{run_trace, ExperimentConfig, Protocol, RunMetrics};
+use crate::{run_trace_traced, ExperimentConfig, Protocol, RunMetrics};
 
 /// Configuration of a full evaluation-suite run over the Table-1 traces.
 #[derive(Clone, PartialEq, Debug)]
@@ -27,6 +27,12 @@ pub struct SuiteConfig {
     /// `available_parallelism()`; `Some(1)` forces the serial path. Results
     /// are byte-identical at every setting — only wall-clock changes.
     pub jobs: Option<usize>,
+    /// When `true`, every reenactment records its structured recovery
+    /// events (see the `obs` crate) into [`SuiteResult::events`]. Each run
+    /// owns its own in-memory sink, so capture is race-free under any
+    /// worker count and the measured `pairs` stay byte-identical to a
+    /// capture-off run.
+    pub capture_events: bool,
 }
 
 impl SuiteConfig {
@@ -39,6 +45,7 @@ impl SuiteConfig {
             experiment: ExperimentConfig::paper_default(),
             cesrm: CesrmConfig::paper_default(),
             jobs: None,
+            capture_events: false,
         }
     }
 
@@ -128,6 +135,23 @@ impl TracePair {
     }
 }
 
+/// Structured recovery events captured from one (trace × protocol)
+/// reenactment, with enough run context to interpret them on their own.
+#[derive(Clone, Debug)]
+pub struct RunEventLog {
+    /// Table-1 trace number (1-based).
+    pub trace: usize,
+    /// Trace name, e.g. `"WRN950919"`.
+    pub name: &'static str,
+    /// `"SRM"` or `"CESRM"`.
+    pub protocol: &'static str,
+    /// Per-receiver round-trip time to the source in nanoseconds, for
+    /// normalizing recovery latencies into RTT units.
+    pub rtt_ns: Vec<(u32, u64)>,
+    /// The captured events in simulation-time order.
+    pub records: Vec<obs::Record>,
+}
+
 /// The full evaluation suite: every requested trace under SRM and CESRM.
 #[derive(Clone, Debug)]
 pub struct SuiteResult {
@@ -135,6 +159,11 @@ pub struct SuiteResult {
     pub scale: f64,
     /// Per-trace results, in Table-1 order.
     pub pairs: Vec<TracePair>,
+    /// Structured event logs, one per run in slot order (SRM before CESRM
+    /// per trace); empty unless [`SuiteConfig::capture_events`] was set.
+    /// Kept out of [`TracePair`] so capture can never perturb the
+    /// measurement comparisons.
+    pub events: Vec<RunEventLog>,
     /// Wall-clock observability of this invocation. Timing never feeds
     /// back into the measurements: two runs of equal configuration have
     /// equal `pairs` (and CSV output) regardless of `jobs`.
@@ -149,6 +178,7 @@ struct RunJob {
     protocol: Protocol,
     seed: u64,
     experiment: ExperimentConfig,
+    capture: bool,
 }
 
 /// What one job sends back through the pool.
@@ -158,6 +188,8 @@ struct RunOutput {
     /// Computed once per trace, by the SRM job (both protocols reenact the
     /// identical synthesized trace).
     trace_stats: Option<LossStats>,
+    /// The captured structured events, when the suite asked for them.
+    events: Option<RunEventLog>,
     timing: RunTiming,
 }
 
@@ -167,18 +199,44 @@ impl RunJob {
         let (trace, truth) = self.spec.generate_with_truth(self.seed);
         let trace_stats = matches!(self.protocol, Protocol::Srm)
             .then(|| LossStats::from_trace(&trace, Some(&truth)));
-        let metrics = run_trace(&trace, self.protocol, &self.experiment);
+        let protocol_name = match self.protocol {
+            Protocol::Srm => "SRM",
+            Protocol::Cesrm(_) => "CESRM",
+        };
+        // Each capturing run owns its sink (the handle is `!Send` by
+        // design), so worker threads never share event state.
+        let handle = if self.capture {
+            obs::TraceHandle::memory()
+        } else {
+            obs::TraceHandle::off()
+        };
+        let metrics = run_trace_traced(&trace, self.protocol, &self.experiment, &handle);
+        let events = self.capture.then(|| {
+            let tree = trace.tree();
+            RunEventLog {
+                trace: self.spec.number,
+                name: self.spec.name,
+                protocol: protocol_name,
+                rtt_ns: tree
+                    .receivers()
+                    .iter()
+                    .map(|&r| {
+                        let rtt = metrics::rtt_to_source(tree, &self.experiment.net, r);
+                        (r.0, rtt.as_nanos())
+                    })
+                    .collect(),
+                records: handle.drain(),
+            }
+        });
         RunOutput {
             spec: self.spec.clone(),
             metrics,
             trace_stats,
+            events,
             timing: RunTiming {
                 trace: self.spec.number,
                 name: self.spec.name,
-                protocol: match self.protocol {
-                    Protocol::Srm => "SRM",
-                    Protocol::Cesrm(_) => "CESRM",
-                },
+                protocol: protocol_name,
                 wall: started.elapsed(),
             },
         }
@@ -196,6 +254,7 @@ fn suite_jobs(cfg: &SuiteConfig, seed: u64) -> Vec<RunJob> {
                 protocol,
                 seed,
                 experiment: cfg.experiment,
+                capture: cfg.capture_events,
             })
         })
         .collect()
@@ -209,10 +268,13 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
     );
     let mut pairs = Vec::with_capacity(outputs.len() / 2);
     let mut runs = Vec::with_capacity(outputs.len());
+    let mut events = Vec::new();
     let mut it = outputs.into_iter();
-    while let (Some(srm), Some(cesrm)) = (it.next(), it.next()) {
+    while let (Some(mut srm), Some(mut cesrm)) = (it.next(), it.next()) {
         runs.push(srm.timing.clone());
         runs.push(cesrm.timing.clone());
+        events.extend(srm.events.take());
+        events.extend(cesrm.events.take());
         pairs.push(TracePair {
             spec: srm.spec,
             trace_stats: srm
@@ -225,6 +287,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
     SuiteResult {
         scale: cfg.scale,
         pairs,
+        events,
         timing: SuiteTiming {
             jobs: 0,
             wall: Duration::ZERO,

@@ -70,6 +70,34 @@ fn parallel_runs_are_repeatable_and_seed_sensitive() {
     );
 }
 
+/// Recovery-provenance capture must be a pure observer: a suite run with
+/// `capture_events` on yields byte-identical measurements to one with the
+/// no-op sink, and the capture itself is deterministic across worker
+/// counts.
+#[test]
+fn event_capture_never_perturbs_measurements() {
+    let off = run_suite(&scaled_config().with_jobs(4));
+    let mut capturing = scaled_config().with_jobs(4);
+    capturing.capture_events = true;
+    let on = run_suite(&capturing);
+
+    assert!(off.events.is_empty());
+    assert_eq!(on.events.len(), 2 * on.pairs.len());
+    assert!(on.events.iter().all(|e| !e.records.is_empty()));
+    assert_eq!(
+        format!("{:?}", off.pairs),
+        format!("{:?}", on.pairs),
+        "tracing must not change what is measured"
+    );
+
+    let serial = run_suite(&capturing.clone().with_jobs(1));
+    assert_eq!(
+        format!("{:?}", serial.events),
+        format!("{:?}", on.events),
+        "captured events must not depend on the worker count"
+    );
+}
+
 /// The multi-seed batch entry point is deterministic too, seed by seed.
 #[test]
 fn batched_seeds_are_deterministic() {

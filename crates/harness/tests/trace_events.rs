@@ -1,0 +1,120 @@
+//! End-to-end checks of the recovery-provenance trace: a reenactment with
+//! capture on emits well-formed JSONL whose reduced timelines cover the
+//! losses the metrics layer recorded (the ISSUE's ≥95 % bar).
+
+use cesrm::CesrmConfig;
+use harness::{run_trace_traced, ExperimentConfig, Protocol};
+use obs::provenance::{reduce, RecoveryPath};
+use obs::to_json_line;
+use traces::{table1, Trace};
+
+fn small_trace() -> Trace {
+    table1()[3].scaled(0.01).generate(5)
+}
+
+/// Minimal structural JSON validation: one object per line, every line
+/// starts a `{"t":` record, braces and quotes balance.
+fn assert_valid_jsonl(lines: &[String]) {
+    for line in lines {
+        assert!(line.starts_with("{\"t\":"), "bad line start: {line}");
+        assert!(line.ends_with('}'), "bad line end: {line}");
+        let mut depth = 0i32;
+        let mut quotes = 0usize;
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                '"' => quotes += 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "brace underflow: {line}");
+        }
+        assert_eq!(depth, 0, "unbalanced braces: {line}");
+        assert!(quotes.is_multiple_of(2), "unbalanced quotes: {line}");
+    }
+}
+
+#[test]
+fn cesrm_trace_covers_recorded_losses() {
+    let trace = small_trace();
+    let handle = obs::TraceHandle::memory();
+    let metrics = run_trace_traced(
+        &trace,
+        Protocol::Cesrm(CesrmConfig::paper_default()),
+        &ExperimentConfig::paper_default(),
+        &handle,
+    );
+    let records = handle.drain();
+    assert!(!records.is_empty());
+
+    let lines: Vec<String> = records.iter().map(to_json_line).collect();
+    assert_valid_jsonl(&lines);
+
+    // Timestamps are non-decreasing: events come out in simulation order.
+    assert!(records.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+
+    let timelines = reduce(&records);
+    let complete = timelines
+        .iter()
+        .filter(|tl| tl.latency_ns().is_some())
+        .count();
+    let losses = timelines
+        .iter()
+        .filter(|tl| tl.path != RecoveryPath::Spurious)
+        .count();
+    assert_eq!(
+        losses, metrics.losses,
+        "every loss the metrics layer recorded must have a timeline"
+    );
+    assert!(
+        complete as f64 >= 0.95 * losses as f64,
+        "only {complete} of {losses} losses have a complete timeline"
+    );
+
+    // Both recovery paths occur on this trace, and the expedited share of
+    // the timelines matches the expedited share of the metrics samples.
+    let expedited = timelines
+        .iter()
+        .filter(|tl| tl.path == RecoveryPath::Expedited)
+        .count();
+    let fallback = timelines
+        .iter()
+        .filter(|tl| tl.path == RecoveryPath::Fallback)
+        .count();
+    assert!(expedited > 0, "expedited recoveries should appear");
+    assert!(fallback > 0, "fallback recoveries should appear");
+    let metric_expedited = metrics.samples.iter().filter(|s| s.expedited).count();
+    assert_eq!(expedited, metric_expedited);
+}
+
+#[test]
+fn srm_trace_is_all_fallback() {
+    let trace = small_trace();
+    let handle = obs::TraceHandle::memory();
+    let metrics = run_trace_traced(
+        &trace,
+        Protocol::Srm,
+        &ExperimentConfig::paper_default(),
+        &handle,
+    );
+    let timelines = reduce(&handle.drain());
+    assert!(timelines
+        .iter()
+        .all(|tl| tl.path != RecoveryPath::Expedited));
+    let complete = timelines
+        .iter()
+        .filter(|tl| tl.latency_ns().is_some())
+        .count();
+    assert_eq!(complete, metrics.losses - metrics.unrecovered);
+}
+
+#[test]
+fn off_handle_and_ring_sink_agree_on_metrics() {
+    let trace = small_trace();
+    let cfg = ExperimentConfig::paper_default();
+    let plain = harness::run_trace(&trace, Protocol::Srm, &cfg);
+    let ring = obs::TraceHandle::ring(64);
+    let traced = run_trace_traced(&trace, Protocol::Srm, &cfg, &ring);
+    assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+    assert!(!ring.drain().is_empty());
+}

@@ -46,6 +46,7 @@ pub struct LmsSource {
     start_at: SimTime,
     sent: u64,
     timers: HashMap<TimerToken, SourceTimer>,
+    trace: obs::TraceHandle,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -72,7 +73,15 @@ impl LmsSource {
             start_at,
             sent: 0,
             timers: HashMap::new(),
+            trace: obs::TraceHandle::off(),
         }
+    }
+
+    /// Builder-style installation of a structured-event trace handle (see
+    /// the `obs` crate); tracing is off by default.
+    pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     fn pid(&self, seq: SeqNo) -> PacketId {
@@ -117,6 +126,14 @@ impl Agent for LmsSource {
                         expedited: false,
                     },
                 );
+                let (me, seq, req) = (self.me, id.seq, *requestor);
+                self.trace
+                    .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
+                        node: me.0,
+                        seq: seq.value(),
+                        requestor: req.0,
+                        expedited: false,
+                    });
             }
         }
     }
@@ -164,6 +181,7 @@ pub struct LmsReceiver {
     highest: Option<u64>,
     losses: HashMap<u64, LmsLoss>,
     timers: HashMap<TimerToken, u64>,
+    trace: obs::TraceHandle,
 }
 
 impl LmsReceiver {
@@ -187,7 +205,18 @@ impl LmsReceiver {
             highest: None,
             losses: HashMap::new(),
             timers: HashMap::new(),
+            trace: obs::TraceHandle::off(),
         }
+    }
+
+    /// Builder-style installation of a structured-event trace handle (see
+    /// the `obs` crate); tracing is off by default. Loss-detection,
+    /// request and recovery records flow through the shared
+    /// [`metrics::RecoveryLog`], which should be given a clone of the same
+    /// handle; the receiver itself emits `rep_sent` for subcast repairs.
+    pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// `true` iff this receiver holds packet `seq`.
@@ -243,7 +272,7 @@ impl LmsReceiver {
         }
         self.log
             .borrow_mut()
-            .on_request_sent(self.me, self.pid(seq));
+            .on_request_sent(self.me, self.pid(seq), ctx.now());
         self.arm_retry(ctx, seq);
     }
 
@@ -305,6 +334,14 @@ impl LmsReceiver {
                     expedited: false,
                 },
             );
+            let me = self.me;
+            self.trace
+                .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
+                    node: me.0,
+                    seq: id.seq.value(),
+                    requestor: requestor.0,
+                    expedited: false,
+                });
         } else {
             // We share the loss: forward the request upstream (LMS replier
             // escalation). The reply will subcast from a higher router and

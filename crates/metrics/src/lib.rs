@@ -17,6 +17,10 @@
 //!   normalized-latency aggregation behind Fig. 1 and Fig. 2.
 //! * [`OverheadBreakdown`] — the retransmission/control, multicast/unicast
 //!   overhead split behind Fig. 5.
+//! * [`RecoveryLog`] also forwards its first-win detection/recovery
+//!   decisions as structured `obs` events when a trace handle is installed
+//!   ([`RecoveryLog::set_trace`]) — it is the arbiter that keeps the
+//!   provenance stream duplicate-free (see `docs/TRACING.md`).
 
 mod collector;
 mod histogram;

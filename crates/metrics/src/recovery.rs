@@ -46,6 +46,8 @@ impl RecoveryRecord {
 #[derive(Clone, Default, Debug)]
 pub struct RecoveryLog {
     records: BTreeMap<(NodeId, PacketId), RecoveryRecord>,
+    /// Structured-event trace for per-loss provenance; off by default.
+    trace: obs::TraceHandle,
 }
 
 /// Shared handle to a [`RecoveryLog`]; one clone per agent plus one for the
@@ -63,19 +65,37 @@ impl RecoveryLog {
         Rc::new(RefCell::new(RecoveryLog::new()))
     }
 
+    /// Installs the structured-event trace handle: the log emits
+    /// `loss_detected` / `req_sent` / `recovered` / `spurious` records for
+    /// the state transitions it arbitrates (the log sees them first-win
+    /// across all agents, so emitting here keeps the trace free of
+    /// duplicates the protocols would produce).
+    pub fn set_trace(&mut self, trace: obs::TraceHandle) {
+        self.trace = trace;
+    }
+
     /// Records that `receiver` detected the loss of `id` at `now`. Repeat
     /// detections keep the earliest timestamp.
     pub fn on_detect(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
-        self.records
-            .entry((receiver, id))
-            .or_insert_with(|| RecoveryRecord {
+        let mut fresh = false;
+        self.records.entry((receiver, id)).or_insert_with(|| {
+            fresh = true;
+            RecoveryRecord {
                 receiver,
                 id,
                 detected_at: now,
                 recovered_at: None,
                 expedited: false,
                 requests_sent: 0,
-            });
+            }
+        });
+        if fresh {
+            self.trace
+                .emit(now.as_nanos(), || obs::Event::LossDetected {
+                    node: receiver.0,
+                    seq: id.seq.value(),
+                });
+        }
     }
 
     /// Records that `receiver` recovered `id` at `now` via an expedited or
@@ -93,31 +113,48 @@ impl RecoveryLog {
         if rec.recovered_at.is_none() {
             rec.recovered_at = Some(now);
             rec.expedited = expedited;
+            self.trace
+                .emit(now.as_nanos(), || obs::Event::RecoveryCompleted {
+                    node: receiver.0,
+                    seq: id.seq.value(),
+                    expedited,
+                });
         }
     }
 
     /// Records that `receiver` sent (another) multicast repair request for
-    /// `id`.
+    /// `id` at `now`.
     ///
     /// # Panics
     ///
     /// Panics if no detection was recorded for `(receiver, id)`.
-    pub fn on_request_sent(&mut self, receiver: NodeId, id: PacketId) {
+    pub fn on_request_sent(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
         let rec = self
             .records
             .get_mut(&(receiver, id))
             .expect("request without prior detection");
         rec.requests_sent += 1;
+        let round = rec.requests_sent;
+        self.trace.emit(now.as_nanos(), || obs::Event::RequestSent {
+            node: receiver.0,
+            seq: id.seq.value(),
+            round,
+        });
     }
 
     /// Voids the record for `(receiver, id)`: the detection turned out
-    /// spurious (the original packet arrived after all, e.g. under
+    /// spurious at `now` (the original packet arrived after all, e.g. under
     /// reordering). No-op if no record exists or the loss already
     /// recovered (a recovery proves the loss was real).
-    pub fn on_spurious(&mut self, receiver: NodeId, id: PacketId) {
+    pub fn on_spurious(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
         if let Some(rec) = self.records.get(&(receiver, id)) {
             if rec.recovered_at.is_none() {
                 self.records.remove(&(receiver, id));
+                self.trace
+                    .emit(now.as_nanos(), || obs::Event::SpuriousLoss {
+                        node: receiver.0,
+                        seq: id.seq.value(),
+                    });
             }
         }
     }
@@ -198,8 +235,8 @@ mod tests {
     fn request_counting() {
         let mut log = RecoveryLog::new();
         log.on_detect(NodeId(2), pid(1), t(10));
-        log.on_request_sent(NodeId(2), pid(1));
-        log.on_request_sent(NodeId(2), pid(1));
+        log.on_request_sent(NodeId(2), pid(1), t(20));
+        log.on_request_sent(NodeId(2), pid(1), t(30));
         assert_eq!(log.records().next().unwrap().requests_sent, 2);
     }
 

@@ -50,6 +50,13 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Tracing
+//!
+//! [`Simulator::set_trace`] installs a per-simulation `obs::TraceHandle`;
+//! the simulator then emits structured `sent`/`dropped`/`delivered` events
+//! for recovery-relevant packets (see `docs/TRACING.md`). With the default
+//! off-handle the call sites are zero-cost.
 
 mod agent;
 mod config;

@@ -74,7 +74,7 @@ impl LossProcess for TraceLoss {
 }
 
 /// Trace-driven loss for data plus independent probabilistic loss for
-/// recovery traffic — the paper's side experiment ([10]) in which control
+/// recovery traffic — the paper's side experiment (\[10\]) in which control
 /// packets and retransmissions are also dropped according to the estimated
 /// link loss rates.
 #[derive(Clone, Debug)]

@@ -11,6 +11,30 @@ use crate::agent::{Agent, Context, DeliveryMeta, TimerToken};
 use crate::observer::{Direction, NullObserver, SimObserver};
 use crate::{CastClass, LossProcess, NetConfig, NoLoss, Packet, PacketBody, SimDuration, SimTime};
 
+/// Maps a packet onto the dependency-free tracing vocabulary of the `obs`
+/// crate: a body classification plus the data sequence number it concerns.
+fn trace_class(packet: &Packet) -> (obs::PacketClass, Option<u64>) {
+    let class = match &packet.body {
+        PacketBody::Data { .. } => obs::PacketClass::Data,
+        PacketBody::Request { .. } => obs::PacketClass::Request,
+        PacketBody::Reply {
+            expedited: true, ..
+        } => obs::PacketClass::ExpeditedReply,
+        PacketBody::Reply { .. } => obs::PacketClass::Reply,
+        PacketBody::ExpeditedRequest { .. } => obs::PacketClass::ExpeditedRequest,
+        PacketBody::Session(_) => obs::PacketClass::Session,
+    };
+    (class, packet.body.subject().map(|id| id.seq.value()))
+}
+
+fn trace_cast(cast: CastClass) -> obs::Cast {
+    match cast {
+        CastClass::Multicast => obs::Cast::Multicast,
+        CastClass::Unicast => obs::Cast::Unicast,
+        CastClass::Subcast => obs::Cast::Subcast,
+    }
+}
+
 /// How a packet copy propagates through the tree.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum PropMode {
@@ -90,6 +114,7 @@ pub struct Simulator {
     agents: Vec<Option<Box<dyn Agent>>>,
     loss: Box<dyn LossProcess>,
     observer: Box<dyn SimObserver>,
+    trace: obs::TraceHandle,
     rng: StdRng,
     events_processed: u64,
 }
@@ -112,6 +137,7 @@ impl Simulator {
             agents: (0..n).map(|_| None).collect(),
             loss: Box::new(NoLoss),
             observer: Box::new(NullObserver),
+            trace: obs::TraceHandle::off(),
             events_processed: 0,
         }
     }
@@ -177,6 +203,16 @@ impl Simulator {
     /// Installs the traffic observer.
     pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
         self.observer = observer;
+    }
+
+    /// Installs the structured-event trace handle for this simulation.
+    ///
+    /// The handle is per-simulation owned state (the default is
+    /// [`obs::TraceHandle::off`]); enabling it makes the simulator emit
+    /// `sent`/`dropped`/`delivered` records. Clone the same handle into the
+    /// protocol agents and the recovery log so one sink sees the whole run.
+    pub fn set_trace(&mut self, trace: obs::TraceHandle) {
+        self.trace = trace;
     }
 
     /// Attaches a protocol agent to `node`; its
@@ -300,6 +336,21 @@ impl Simulator {
         &mut self.rng
     }
 
+    /// Emits a `sent` trace record for a packet entering the network.
+    /// Session traffic is excluded to bound trace volume: it is periodic
+    /// background chatter with no per-loss provenance value.
+    fn trace_send(&self, origin: NodeId, packet: &Packet) {
+        self.trace.emit(self.now.as_nanos(), || {
+            let (class, seq) = trace_class(packet);
+            obs::Event::PacketSent {
+                node: origin.0,
+                class,
+                seq,
+                cast: trace_cast(packet.cast),
+            }
+        });
+    }
+
     pub(crate) fn send_multicast(&mut self, origin: NodeId, body: PacketBody) {
         let packet = Rc::new(Packet {
             origin,
@@ -307,6 +358,9 @@ impl Simulator {
             body,
         });
         self.observer.on_send(self.now, origin, &packet);
+        if !matches!(packet.body, PacketBody::Session(_)) {
+            self.trace_send(origin, &packet);
+        }
         self.fan_out(origin, None, &packet, PropMode::Flood, None);
     }
 
@@ -318,6 +372,9 @@ impl Simulator {
             body,
         });
         self.observer.on_send(self.now, origin, &packet);
+        if !matches!(packet.body, PacketBody::Session(_)) {
+            self.trace_send(origin, &packet);
+        }
         let next = self.tree.next_hop(origin, dest);
         self.transmit(origin, next, &packet, PropMode::Unicast(dest), None);
     }
@@ -329,6 +386,9 @@ impl Simulator {
             body,
         });
         self.observer.on_send(self.now, origin, &packet);
+        if !matches!(packet.body, PacketBody::Session(_)) {
+            self.trace_send(origin, &packet);
+        }
         if origin == via {
             self.flood_down(via, &packet, Some(via));
         } else {
@@ -402,6 +462,14 @@ impl Simulator {
         self.observer.on_link_crossing(self.now, link, dir, packet);
         if self.loss.should_drop(link, packet, &mut self.rng) {
             self.observer.on_drop(self.now, link, packet);
+            self.trace.emit(self.now.as_nanos(), || {
+                let (class, seq) = trace_class(packet);
+                obs::Event::PacketDropped {
+                    link: link.0 .0,
+                    class,
+                    seq,
+                }
+            });
             return;
         }
         let base_delay = self.link_delay_override[link.index()].unwrap_or(self.cfg.link_delay);
@@ -470,6 +538,22 @@ impl Simulator {
             return;
         }
         self.observer.on_delivery(self.now, node, packet);
+        if self.trace.is_enabled() {
+            // Recovery-class deliveries only: original-data and session
+            // deliveries are O(receivers × packets) noise for provenance
+            // purposes, while the recovery completion itself is emitted by
+            // the metrics layer as a `recovered` record.
+            let (class, seq) = trace_class(packet);
+            if !matches!(class, obs::PacketClass::Data | obs::PacketClass::Session) {
+                self.trace
+                    .emit(self.now.as_nanos(), || obs::Event::PacketDelivered {
+                        node: node.0,
+                        class,
+                        seq,
+                        origin: packet.origin.0,
+                    });
+            }
+        }
         let meta = DeliveryMeta {
             prev_hop,
             turning_point: if self.cfg.router_assist {

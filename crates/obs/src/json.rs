@@ -1,0 +1,328 @@
+//! Hand-rolled JSONL encoding for [`Record`]s.
+//!
+//! The container image vendors no serde, and every value we serialise is a
+//! scalar (integers, booleans, static strings), so a small hand-written
+//! encoder keeps the crate dependency-free. The wire format is documented
+//! in `docs/TRACING.md`; event and field names here are the stable schema.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, Record};
+
+/// Encode one record as a single JSON object (no trailing newline).
+///
+/// Every line has the shape `{"t":<ns>,"ev":"<name>",...fields}` with
+/// field order fixed per variant, so output is byte-stable across runs.
+pub fn to_json_line(record: &Record) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"t\":{},\"ev\":\"{}\"",
+        record.t_ns,
+        record.event.name()
+    );
+    match record.event {
+        Event::PacketSent {
+            node,
+            class,
+            seq,
+            cast,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_str(&mut s, "class", class.as_str());
+            push_opt_u64(&mut s, "seq", seq);
+            push_str(&mut s, "cast", cast.as_str());
+        }
+        Event::PacketDropped { link, class, seq } => {
+            push_u32(&mut s, "link", link);
+            push_str(&mut s, "class", class.as_str());
+            push_opt_u64(&mut s, "seq", seq);
+        }
+        Event::PacketDelivered {
+            node,
+            class,
+            seq,
+            origin,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_str(&mut s, "class", class.as_str());
+            push_opt_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "origin", origin);
+        }
+        Event::LossDetected { node, seq } | Event::SpuriousLoss { node, seq } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+        }
+        Event::RequestScheduled {
+            node,
+            seq,
+            round,
+            delay_ns,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "round", round);
+            push_u64(&mut s, "delay_ns", delay_ns);
+        }
+        Event::RequestSuppressed { node, seq, by } | Event::ReplySuppressed { node, seq, by } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "by", by);
+        }
+        Event::RequestSent { node, seq, round } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "round", round);
+        }
+        Event::ReplyScheduled {
+            node,
+            seq,
+            requestor,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "requestor", requestor);
+        }
+        Event::ReplySent {
+            node,
+            seq,
+            requestor,
+            expedited,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "requestor", requestor);
+            push_bool(&mut s, "expedited", expedited);
+        }
+        Event::ExpeditedRequestSent { node, seq, replier } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "replier", replier);
+        }
+        Event::ExpeditedReplySent {
+            node,
+            seq,
+            requestor,
+            subcast,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "requestor", requestor);
+            push_bool(&mut s, "subcast", subcast);
+        }
+        Event::CacheHit {
+            node,
+            seq,
+            requestor,
+            replier,
+        }
+        | Event::CacheUpdate {
+            node,
+            seq,
+            requestor,
+            replier,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_u32(&mut s, "requestor", requestor);
+            push_u32(&mut s, "replier", replier);
+        }
+        Event::CacheMiss { node, seq } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+        }
+        Event::RecoveryCompleted {
+            node,
+            seq,
+            expedited,
+        } => {
+            push_u32(&mut s, "node", node);
+            push_u64(&mut s, "seq", seq);
+            push_bool(&mut s, "expedited", expedited);
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn push_u32(s: &mut String, key: &str, v: u32) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_opt_u64(s: &mut String, key: &str, v: Option<u64>) {
+    match v {
+        Some(v) => push_u64(s, key, v),
+        None => {
+            let _ = write!(s, ",\"{key}\":null");
+        }
+    }
+}
+
+fn push_bool(s: &mut String, key: &str, v: bool) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_str(s: &mut String, key: &str, v: &str) {
+    // All strings in the schema are static identifiers ([a-z_]+), so no
+    // escaping is required.
+    let _ = write!(s, ",\"{key}\":\"{v}\"");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Cast, PacketClass};
+
+    #[test]
+    fn encodes_packet_sent() {
+        let line = to_json_line(&Record {
+            t_ns: 1_500_000,
+            event: Event::PacketSent {
+                node: 0,
+                class: PacketClass::Data,
+                seq: Some(7),
+                cast: Cast::Multicast,
+            },
+        });
+        assert_eq!(
+            line,
+            r#"{"t":1500000,"ev":"sent","node":0,"class":"data","seq":7,"cast":"multicast"}"#
+        );
+    }
+
+    #[test]
+    fn encodes_missing_seq_as_null() {
+        let line = to_json_line(&Record {
+            t_ns: 0,
+            event: Event::PacketDropped {
+                link: 3,
+                class: PacketClass::Session,
+                seq: None,
+            },
+        });
+        assert_eq!(
+            line,
+            r#"{"t":0,"ev":"dropped","link":3,"class":"session","seq":null}"#
+        );
+    }
+
+    #[test]
+    fn encodes_booleans_bare() {
+        let line = to_json_line(&Record {
+            t_ns: 42,
+            event: Event::RecoveryCompleted {
+                node: 5,
+                seq: 9,
+                expedited: true,
+            },
+        });
+        assert_eq!(
+            line,
+            r#"{"t":42,"ev":"recovered","node":5,"seq":9,"expedited":true}"#
+        );
+    }
+
+    #[test]
+    fn every_variant_produces_balanced_json() {
+        let events = [
+            Event::PacketSent {
+                node: 1,
+                class: PacketClass::Request,
+                seq: Some(1),
+                cast: Cast::Unicast,
+            },
+            Event::PacketDropped {
+                link: 1,
+                class: PacketClass::Reply,
+                seq: Some(1),
+            },
+            Event::PacketDelivered {
+                node: 1,
+                class: PacketClass::ExpeditedRequest,
+                seq: Some(1),
+                origin: 2,
+            },
+            Event::LossDetected { node: 1, seq: 1 },
+            Event::RequestScheduled {
+                node: 1,
+                seq: 1,
+                round: 0,
+                delay_ns: 5,
+            },
+            Event::RequestSuppressed {
+                node: 1,
+                seq: 1,
+                by: 2,
+            },
+            Event::RequestSent {
+                node: 1,
+                seq: 1,
+                round: 1,
+            },
+            Event::ReplyScheduled {
+                node: 1,
+                seq: 1,
+                requestor: 2,
+            },
+            Event::ReplySuppressed {
+                node: 1,
+                seq: 1,
+                by: 2,
+            },
+            Event::ReplySent {
+                node: 1,
+                seq: 1,
+                requestor: 2,
+                expedited: false,
+            },
+            Event::ExpeditedRequestSent {
+                node: 1,
+                seq: 1,
+                replier: 2,
+            },
+            Event::ExpeditedReplySent {
+                node: 1,
+                seq: 1,
+                requestor: 2,
+                subcast: true,
+            },
+            Event::CacheHit {
+                node: 1,
+                seq: 1,
+                requestor: 2,
+                replier: 3,
+            },
+            Event::CacheMiss { node: 1, seq: 1 },
+            Event::CacheUpdate {
+                node: 1,
+                seq: 1,
+                requestor: 2,
+                replier: 3,
+            },
+            Event::RecoveryCompleted {
+                node: 1,
+                seq: 1,
+                expedited: false,
+            },
+            Event::SpuriousLoss { node: 1, seq: 1 },
+        ];
+        for event in events {
+            let line = to_json_line(&Record { t_ns: 1, event });
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "{line}"
+            );
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+            assert!(
+                line.contains(&format!("\"ev\":\"{}\"", event.name())),
+                "{line}"
+            );
+        }
+    }
+}

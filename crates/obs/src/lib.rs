@@ -1,0 +1,65 @@
+//! Structured recovery-provenance tracing for the CESRM reproduction.
+//!
+//! The paper's headline claims (Figures 3–5 of Livadas & Keidar, DSN 2004)
+//! are about *per-loss* behaviour: which losses were recovered by the
+//! expedited path, which fell back to SRM's suppression-based recovery, and
+//! where the latency went. End-of-run aggregates (the `metrics` crate)
+//! cannot answer those questions when a reenactment diverges from the
+//! paper, so this crate provides a packet-level structured event layer in
+//! the spirit of the NS2 traces that made the original SRM analyses
+//! possible:
+//!
+//! * [`Event`] — a compact, scalar-only event vocabulary covering the whole
+//!   recovery lifecycle: link drops and deliveries (`netsim`), loss
+//!   detection and recovery completion (`metrics`), request/reply
+//!   scheduling and suppression (`srm`), cache consults and expedited
+//!   request/reply traffic (`cesrm`). Every variant is documented in
+//!   `docs/TRACING.md` together with the JSONL wire format.
+//! * [`EventSink`] — where events go: [`NoopSink`] (tracing off, the
+//!   default), [`RingSink`] (bounded in-memory, keeps the most recent
+//!   events), [`MemorySink`] (unbounded in-memory, for reducers), and
+//!   [`JsonlSink`] (streams each event as one JSON line).
+//! * [`TraceHandle`] — the cheap, cloneable handle threaded through one
+//!   simulation. A handle is **per-simulation owned state**, never a global:
+//!   the parallel suite runner builds one per worker-local run, so tracing
+//!   is race-free when on and the disabled handle ([`TraceHandle::off`]) is
+//!   a single branch per call site — runs with tracing off are byte-for-byte
+//!   identical to untraced builds.
+//! * [`provenance`] — the reducer that joins raw events into per-loss
+//!   [`RecoveryTimeline`]s (loss → detection → first request → repair),
+//!   classified [`RecoveryPath::Expedited`] vs [`RecoveryPath::Fallback`].
+//!
+//! This crate is dependency-free by design (node ids are `u32`, sequence
+//! numbers `u64`, timestamps nanoseconds since simulation start) so every
+//! layer of the stack can emit into it without dependency cycles.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{provenance, Event, TraceHandle};
+//!
+//! let trace = TraceHandle::memory();
+//! // Protocol code emits through the handle; the closure is never
+//! // evaluated when tracing is off.
+//! trace.emit(5_000, || Event::LossDetected { node: 2, seq: 7 });
+//! trace.emit(90_000, || Event::RecoveryCompleted {
+//!     node: 2,
+//!     seq: 7,
+//!     expedited: true,
+//! });
+//! let timelines = provenance::reduce(&trace.drain());
+//! assert_eq!(timelines.len(), 1);
+//! assert_eq!(timelines[0].latency_ns(), Some(85_000));
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+pub mod provenance;
+mod sink;
+
+pub use event::{Cast, Event, PacketClass, Record};
+pub use json::to_json_line;
+pub use provenance::{RecoveryPath, RecoveryTimeline};
+pub use sink::{EventSink, JsonlSink, MemorySink, NoopSink, RingSink, TraceHandle};

@@ -1,0 +1,331 @@
+//! Event sinks and the per-simulation [`TraceHandle`].
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::{Event, Record};
+use crate::json::to_json_line;
+
+/// Destination for trace [`Record`]s.
+///
+/// Implementations decide retention: keep everything ([`MemorySink`]), keep
+/// the most recent N ([`RingSink`]), stream to disk ([`JsonlSink`]), or
+/// discard ([`NoopSink`]).
+pub trait EventSink {
+    /// Accept one record.
+    fn record(&mut self, record: Record);
+
+    /// Remove and return every buffered record, oldest first.
+    ///
+    /// Streaming sinks with no buffer return an empty vec.
+    fn drain(&mut self) -> Vec<Record> {
+        Vec::new()
+    }
+
+    /// Flush any underlying writer. Default: nothing to do.
+    fn flush(&mut self) {}
+}
+
+/// Discards every record. Used when tracing is structurally required but
+/// semantically off; [`TraceHandle::off`] avoids even this indirection.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn record(&mut self, _record: Record) {}
+}
+
+/// Unbounded in-memory sink; feed its [`EventSink::drain`] output to
+/// [`crate::provenance::reduce`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<Record>,
+}
+
+impl MemorySink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    fn drain(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Bounded in-memory sink that keeps only the most recent `capacity`
+/// records, counting how many older ones were evicted.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<Record>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Create a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingSink capacity must be non-zero");
+        Self {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// How many records were evicted to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// How many records are currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&mut self, record: Record) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(record);
+        } else {
+            self.buf[self.head] = record;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+/// Streams each record as one JSON line to an arbitrary writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap an existing writer.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Consume the sink and return the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, record: Record) {
+        // Tracing is best-effort observability; a full disk should not
+        // abort the simulation mid-run.
+        let _ = writeln!(self.writer, "{}", to_json_line(&record));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// The cheap, cloneable tracing handle threaded through one simulation.
+///
+/// A handle is either *off* (the default — every [`TraceHandle::emit`] is
+/// a single `Option` branch and the event closure is never evaluated) or
+/// *on*, sharing one [`EventSink`] among every clone handed to the
+/// simulator, the recovery log, and the protocol agents of a single run.
+///
+/// Handles are deliberately `!Send` (`Rc`-based): each simulation in the
+/// parallel suite runner constructs its own handle on its own worker
+/// thread, so enabling tracing can never introduce cross-run sharing or
+/// data races.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Rc<RefCell<Box<dyn EventSink>>>>);
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Stable output regardless of sink contents so that `Debug`-based
+        // determinism comparisons are unaffected by tracing state.
+        f.write_str(if self.0.is_some() {
+            "TraceHandle(on)"
+        } else {
+            "TraceHandle(off)"
+        })
+    }
+}
+
+impl TraceHandle {
+    /// The disabled handle: emits are discarded without building events.
+    pub fn off() -> Self {
+        Self(None)
+    }
+
+    /// Wrap an arbitrary sink.
+    pub fn new(sink: Box<dyn EventSink>) -> Self {
+        Self(Some(Rc::new(RefCell::new(sink))))
+    }
+
+    /// Enabled handle over an unbounded [`MemorySink`].
+    pub fn memory() -> Self {
+        Self::new(Box::new(MemorySink::new()))
+    }
+
+    /// Enabled handle over a [`RingSink`] keeping the last `capacity`
+    /// records.
+    pub fn ring(capacity: usize) -> Self {
+        Self::new(Box::new(RingSink::new(capacity)))
+    }
+
+    /// Enabled handle streaming JSONL to a freshly created file.
+    pub fn jsonl<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(Box::new(JsonlSink::create(path)?)))
+    }
+
+    /// True when events are being captured.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record the event built by `f` at simulation time `t_ns`.
+    ///
+    /// The closure is only evaluated when the handle is enabled, keeping
+    /// disabled call sites to a branch on an `Option`.
+    #[inline]
+    pub fn emit<F: FnOnce() -> Event>(&self, t_ns: u64, f: F) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record(Record { t_ns, event: f() });
+        }
+    }
+
+    /// Drain buffered records from the underlying sink (empty when off or
+    /// when the sink streams instead of buffering).
+    pub fn drain(&self) -> Vec<Record> {
+        match &self.0 {
+            Some(sink) => sink.borrow_mut().drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Flush the underlying sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, seq: u64) -> Record {
+        Record {
+            t_ns,
+            event: Event::LossDetected { node: 1, seq },
+        }
+    }
+
+    #[test]
+    fn off_handle_never_evaluates_closure() {
+        let h = TraceHandle::off();
+        let mut evaluated = false;
+        h.emit(0, || {
+            evaluated = true;
+            Event::LossDetected { node: 0, seq: 0 }
+        });
+        assert!(!evaluated);
+        assert!(!h.is_enabled());
+        assert!(h.drain().is_empty());
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let h = TraceHandle::memory();
+        for i in 0..5 {
+            h.emit(i, || Event::LossDetected { node: 1, seq: i });
+        }
+        let records = h.drain();
+        assert_eq!(records.len(), 5);
+        assert!(records.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+        assert!(h.drain().is_empty(), "drain empties the sink");
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_evictions() {
+        let mut ring = RingSink::new(3);
+        for i in 0..7 {
+            ring.record(rec(i, i));
+        }
+        assert_eq!(ring.dropped(), 4);
+        assert_eq!(ring.len(), 3);
+        let kept = ring.drain();
+        assert_eq!(
+            kept.iter().map(|r| r.t_ns).collect::<Vec<_>>(),
+            vec![4, 5, 6],
+            "ring keeps the newest records in order"
+        );
+        assert!(ring.is_empty());
+        // Refilling after drain starts fresh.
+        ring.record(rec(9, 9));
+        assert_eq!(ring.drain().len(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let h = TraceHandle::memory();
+        let h2 = h.clone();
+        h.emit(1, || Event::LossDetected { node: 1, seq: 1 });
+        h2.emit(2, || Event::LossDetected { node: 2, seq: 2 });
+        assert_eq!(h.drain().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(rec(10, 3));
+        sink.record(rec(20, 4));
+        sink.flush();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn debug_is_stable() {
+        assert_eq!(format!("{:?}", TraceHandle::off()), "TraceHandle(off)");
+        assert_eq!(format!("{:?}", TraceHandle::memory()), "TraceHandle(on)");
+    }
+}

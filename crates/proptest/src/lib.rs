@@ -230,7 +230,7 @@ pub mod collection {
     use super::{Gen, Strategy};
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,

@@ -88,6 +88,13 @@ impl SrmAgent {
     pub fn core(&self) -> &SrmCore {
         &self.core
     }
+
+    /// Builder-style installation of a structured-event trace handle (see
+    /// the `obs` crate); tracing is off by default.
+    pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
+        self.core.set_trace(trace);
+        self
+    }
 }
 
 impl Agent for SrmAgent {

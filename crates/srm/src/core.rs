@@ -50,6 +50,9 @@ pub struct SrmCore {
     newly_detected: Vec<SeqNo>,
     default_distance_uses: u64,
     spurious_detections: u64,
+    /// Structured-event trace for timer and suppression decisions; off by
+    /// default (see the `obs` crate).
+    trace: obs::TraceHandle,
 }
 
 impl SrmCore {
@@ -88,7 +91,18 @@ impl SrmCore {
             newly_detected: Vec::new(),
             default_distance_uses: 0,
             spurious_detections: 0,
+            trace: obs::TraceHandle::off(),
         }
+    }
+
+    /// Installs the structured-event trace handle. The core emits the
+    /// scheduling/suppression decisions only it can see
+    /// (`req_scheduled`/`req_suppressed`/`rep_scheduled`/`rep_suppressed`/
+    /// `rep_sent`); detection and completion records come from the shared
+    /// [`metrics::RecoveryLog`], which should be given a clone of the same
+    /// handle.
+    pub fn set_trace(&mut self, trace: obs::TraceHandle) {
+        self.trace = trace;
     }
 
     /// This endpoint's node id.
@@ -345,7 +359,7 @@ impl SrmCore {
         });
         self.log
             .borrow_mut()
-            .on_request_sent(self.me, self.pid(seq));
+            .on_request_sent(self.me, self.pid(seq), ctx.now());
         if let Some(state) = self.losses.get(&seq.value()) {
             self.timer_policy.on_request_sent(state.delay_over_d);
         }
@@ -374,6 +388,13 @@ impl SrmCore {
             tuple,
             expedited: false,
         });
+        self.trace
+            .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
+                node: self.me.0,
+                seq: seq.value(),
+                requestor: requestor.0,
+                expedited: false,
+            });
         self.note_reply_sent(ctx, seq, requestor);
     }
 
@@ -405,6 +426,12 @@ impl SrmCore {
             // request off to the next recovery round, at most once per round
             // (back-off abstinence, §2.1).
             if state.timer.is_some() && ctx.now() >= state.backoff_abstinence_until {
+                self.trace
+                    .emit(ctx.now().as_nanos(), || obs::Event::RequestSuppressed {
+                        node: self.me.0,
+                        seq: seq.value(),
+                        by: requestor.0,
+                    });
                 self.reschedule_request(ctx, seq);
             } else {
                 // A same-round duplicate of a request we made or heard:
@@ -442,6 +469,12 @@ impl SrmCore {
         if let Some(tok) = entry.timer.take() {
             ctx.cancel_timer(tok);
             self.timers.remove(&tok);
+            self.trace
+                .emit(ctx.now().as_nanos(), || obs::Event::ReplySuppressed {
+                    node: self.me.0,
+                    seq: seq.value(),
+                    by: tuple.replier.0,
+                });
         }
         if abstinence > entry.abstinence_until {
             entry.abstinence_until = abstinence;
@@ -532,12 +565,20 @@ impl SrmCore {
         let tok = ctx.set_timer(delay);
         self.timers.insert(tok, TimerKind::Request(seq.value()));
         state.timer = Some(tok);
+        let round = state.k;
         state.k += 1;
         state.delay_over_d = if d.is_zero() {
             0.0
         } else {
             delay.as_secs_f64() / d.as_secs_f64()
         };
+        self.trace
+            .emit(ctx.now().as_nanos(), || obs::Event::RequestScheduled {
+                node: self.me.0,
+                seq: seq.value(),
+                round,
+                delay_ns: delay.as_nanos(),
+            });
     }
 
     /// Moves the request for `seq` to the next recovery round (after sending
@@ -585,6 +626,12 @@ impl SrmCore {
         entry.timer = Some(tok);
         entry.requestor = requestor;
         entry.req_dist_src = req_dist_src;
+        self.trace
+            .emit(ctx.now().as_nanos(), || obs::Event::ReplyScheduled {
+                node: self.me.0,
+                seq: seq.value(),
+                requestor: requestor.0,
+            });
     }
 
     /// Stores packet `seq`; if it was an outstanding loss, completes the
@@ -613,7 +660,9 @@ impl SrmCore {
                 // reordered successor made us believe it lost: not a real
                 // loss, void the record.
                 self.spurious_detections += 1;
-                self.log.borrow_mut().on_spurious(self.me, self.pid(seq));
+                self.log
+                    .borrow_mut()
+                    .on_spurious(self.me, self.pid(seq), ctx.now());
             }
         }
     }

@@ -22,6 +22,10 @@
 //! layer. [`SrmAgent`] is the thin agent wrapper used to simulate plain SRM.
 //! [`SourceConfig`]/[`Role`] configure the transmission source, which sends
 //! the data stream and participates in recovery as a replier.
+//!
+//! With an `obs::TraceHandle` installed ([`SrmAgent::with_trace`]), the
+//! engine emits structured request/reply scheduling, suppression and send
+//! events for recovery-provenance tracing (see `docs/TRACING.md`).
 
 mod agent;
 mod core;

@@ -11,7 +11,7 @@
 //!   identities (each link is named by the node it points *into*).
 //! * [`TreeBuilder`] — incremental construction with validation at
 //!   [`TreeBuilder::build`].
-//! * [`generate`] — random trees with a prescribed receiver count and depth,
+//! * [`random_tree`] — random trees with a prescribed receiver count and depth,
 //!   used to synthesize the Table-1 topologies of the paper, for which only
 //!   receiver count and tree depth are published.
 //!
