@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the building blocks: recovery cache, loss-pattern
-//! attribution DP, Gilbert–Elliott stepping, estimators and raw simulator
-//! flooding throughput.
+//! attribution DP, Gilbert–Elliott stepping, estimators, raw simulator
+//! flooding throughput, and the metrics-registry instruments that ride on
+//! the simulator's hot paths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lossmap::{yajnik_rates, Attributor};
@@ -129,12 +130,57 @@ fn bench_sim_flood(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/registry");
+    let handle = obs::MetricsHandle::new();
+    let counter = handle.counter("bench.counter");
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            std::hint::black_box(&counter);
+        });
+    });
+    let off = obs::Counter::off();
+    group.bench_function("counter_inc_disabled", |b| {
+        b.iter(|| {
+            off.inc();
+            std::hint::black_box(&off);
+        });
+    });
+    let histogram = handle.histogram("bench.histogram");
+    let mut i = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            histogram.record(std::hint::black_box(i >> 32));
+        });
+    });
+    let sketch = handle.sketch("bench.sketch");
+    let mut j = 0u64;
+    group.bench_function("sketch_record", |b| {
+        b.iter(|| {
+            j = j.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            sketch.record(std::hint::black_box(j >> 32));
+        });
+    });
+    group.bench_function("snapshot_and_merge", |b| {
+        b.iter(|| {
+            let mut a = handle.snapshot();
+            let other = handle.snapshot();
+            a.merge(&other);
+            std::hint::black_box(a)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cache,
     bench_attribution,
     bench_gilbert,
     bench_estimator,
-    bench_sim_flood
+    bench_sim_flood,
+    bench_registry
 );
 criterion_main!(benches);

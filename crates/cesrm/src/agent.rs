@@ -69,6 +69,32 @@ pub struct CesrmAgent {
     /// Structured-event trace for cache consults and expedited traffic; off
     /// by default (see the `obs` crate).
     trace: obs::TraceHandle,
+    metrics: CesrmMetrics,
+}
+
+/// Pre-registered counters over the expedited layer: cache consult
+/// outcomes and expedited traffic volumes. All no-ops by default.
+#[derive(Default)]
+struct CesrmMetrics {
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    cache_updates: obs::Counter,
+    cache_evictions: obs::Counter,
+    expedited_requests_sent: obs::Counter,
+    expedited_replies_sent: obs::Counter,
+}
+
+impl CesrmMetrics {
+    fn new(metrics: &obs::MetricsHandle) -> Self {
+        CesrmMetrics {
+            cache_hits: metrics.counter("cesrm.cache.hits"),
+            cache_misses: metrics.counter("cesrm.cache.misses"),
+            cache_updates: metrics.counter("cesrm.cache.updates"),
+            cache_evictions: metrics.counter("cesrm.cache.evictions"),
+            expedited_requests_sent: metrics.counter("cesrm.expedited_requests_sent"),
+            expedited_replies_sent: metrics.counter("cesrm.expedited_replies_sent"),
+        }
+    }
 }
 
 impl CesrmAgent {
@@ -118,6 +144,7 @@ impl CesrmAgent {
             expedited: HashMap::new(),
             pending: HashMap::new(),
             trace: obs::TraceHandle::off(),
+            metrics: CesrmMetrics::default(),
         }
     }
 
@@ -134,6 +161,21 @@ impl CesrmAgent {
     pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
         self.core.set_trace(trace.clone());
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style registration of runtime-profiling counters: the
+    /// expedited layer counts cache consults and traffic
+    /// (`cesrm.cache.*`, `cesrm.expedited_*`), and the underlying SRM
+    /// engine registers its suppression-machinery counters (`srm.*`).
+    /// Profiling is off by default.
+    pub fn with_metrics(mut self, metrics: &obs::MetricsHandle) -> Self {
+        self.core.set_metrics(metrics);
+        self.metrics = if metrics.is_enabled() {
+            CesrmMetrics::new(metrics)
+        } else {
+            CesrmMetrics::default()
+        };
         self
     }
 
@@ -158,6 +200,7 @@ impl CesrmAgent {
     fn consider_expedited(&mut self, ctx: &mut Context<'_>, seq: SeqNo) {
         let me = self.core.me();
         let Some(tuple) = self.policy.select(&self.cache) else {
+            self.metrics.cache_misses.inc();
             self.trace
                 .emit(ctx.now().as_nanos(), || obs::Event::CacheMiss {
                     node: me.0,
@@ -165,6 +208,7 @@ impl CesrmAgent {
                 });
             return;
         };
+        self.metrics.cache_hits.inc();
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::CacheHit {
                 node: me.0,
@@ -211,6 +255,7 @@ impl CesrmAgent {
         };
         ctx.unicast(tuple.replier, body);
         let me = self.core.me();
+        self.metrics.expedited_requests_sent.inc();
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::ExpeditedRequestSent {
                 node: me.0,
@@ -257,6 +302,7 @@ impl CesrmAgent {
             }
         };
         let me = self.core.me();
+        self.metrics.expedited_replies_sent.inc();
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::ExpeditedReplySent {
                 node: me.0,
@@ -305,7 +351,13 @@ impl Agent for CesrmAgent {
                     } else {
                         None
                     };
-                    self.cache.observe(t);
+                    let outcome = self.cache.observe_outcome(t);
+                    if outcome.changed() {
+                        self.metrics.cache_updates.inc();
+                    }
+                    if outcome == crate::cache::CacheOutcome::InsertedEvicting {
+                        self.metrics.cache_evictions.inc();
+                    }
                     let me = self.core.me();
                     self.trace
                         .emit(ctx.now().as_nanos(), || obs::Event::CacheUpdate {

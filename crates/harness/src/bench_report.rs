@@ -1,0 +1,537 @@
+//! Machine-readable performance baselines: `BENCH_<YYYYMMDD>.json`.
+//!
+//! [`bench_report`] turns one profiled suite run ([`SuiteConfig`] with
+//! `collect_metrics`) into a schema-stable JSON document
+//! (`"schema": "cesrm-bench/1"`), and [`compare_reports`] diffs two such
+//! documents against regression thresholds. The full schema is documented
+//! in `docs/METRICS.md`; the invariants the code enforces are:
+//!
+//! - **Member order is fixed** (the `obs::JsonValue` object model is
+//!   ordered), so equal runs produce byte-equal documents.
+//! - **Volatile fields are enumerable**: exactly the members named in
+//!   [`VOLATILE_FIELDS`] depend on the machine, worker count, or
+//!   wall-clock. [`strip_volatile`] nulls them, and two reports of the
+//!   same configuration at *any* `--jobs` settings are byte-identical
+//!   after stripping (asserted in `tests/determinism.rs`).
+//! - **Everything else is deterministic**: counters, histograms, sketch
+//!   summaries and the headline protocol figures come from the simulation
+//!   alone.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use obs::JsonValue;
+
+use crate::suite::{RunProfile, SuiteConfig, SuiteResult};
+
+/// Version tag every report carries; bump on breaking schema changes.
+pub const BENCH_SCHEMA: &str = "cesrm-bench/1";
+
+/// Member names that legitimately differ between two runs of the same
+/// configuration: wall-clock readings, derived throughput, and the
+/// machine-dependent worker count. [`strip_volatile`] nulls these wherever
+/// they appear in the document.
+pub const VOLATILE_FIELDS: &[&str] = &[
+    "created",
+    "jobs",
+    "wall_s",
+    "cpu_s",
+    "speedup",
+    "events_per_sec",
+];
+
+/// Regression thresholds for [`compare_reports`], in percent.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BenchThresholds {
+    /// Maximum tolerated wall-clock increase over the baseline, percent.
+    pub max_wall_pct: f64,
+    /// Maximum tolerated events/sec decrease below the baseline, percent.
+    pub max_throughput_pct: f64,
+}
+
+impl Default for BenchThresholds {
+    /// Generous defaults (+50 % wall, −30 % throughput): wall-clock on
+    /// shared CI runners is noisy, and the comparison should flag real
+    /// regressions, not scheduler jitter.
+    fn default() -> Self {
+        BenchThresholds {
+            max_wall_pct: 50.0,
+            max_throughput_pct: 30.0,
+        }
+    }
+}
+
+/// The outcome of one baseline comparison.
+#[derive(Clone, Debug)]
+pub struct BenchComparison {
+    /// Human-readable report lines (always produced).
+    pub lines: Vec<String>,
+    /// One message per threshold breach; empty means no regression.
+    pub regressions: Vec<String>,
+}
+
+impl BenchComparison {
+    /// `true` when at least one threshold was breached.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Today's UTC date as `YYYYMMDD`, for the `BENCH_<date>.json` filename.
+pub fn utc_date_stamp() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}{m:02}{d:02}")
+}
+
+/// Days-since-1970 to (year, month, day), valid for the Gregorian
+/// calendar (Howard Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(n: f64) -> JsonValue {
+    JsonValue::Num(n)
+}
+
+fn uint(n: u64) -> JsonValue {
+    JsonValue::Num(n as f64)
+}
+
+fn opt_uint(n: Option<u64>) -> JsonValue {
+    n.map_or(JsonValue::Null, uint)
+}
+
+fn per_sec(events: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        events as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Renders one profiled suite run as a pretty-printed `cesrm-bench/1`
+/// document (trailing newline included, as committed baseline files want).
+///
+/// # Panics
+///
+/// Panics if `result` carries no profiles — run the suite with
+/// [`SuiteConfig::collect_metrics`] (or [`SuiteConfig::with_metrics`]).
+pub fn bench_report(cfg: &SuiteConfig, result: &SuiteResult) -> String {
+    assert!(
+        !result.profiles.is_empty(),
+        "bench_report needs a suite run with collect_metrics set"
+    );
+    let (y, m, d) = {
+        let secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |dur| dur.as_secs());
+        civil_from_days((secs / 86_400) as i64)
+    };
+
+    let wall_s = result.timing.wall.as_secs_f64();
+    let cpu_s = result.timing.cpu_total().as_secs_f64();
+    let events = result.total_events();
+    let merged = result.merged_snapshot();
+    let peak_queue_bytes = result
+        .profiles
+        .iter()
+        .map(RunProfile::peak_queue_bytes)
+        .max()
+        .unwrap_or(0);
+
+    let suite = obj(vec![
+        ("scale", num(cfg.scale)),
+        ("seed", uint(cfg.seed)),
+        (
+            "traces",
+            cfg.traces.as_ref().map_or(JsonValue::Null, |only| {
+                JsonValue::Arr(only.iter().map(|&t| uint(t as u64)).collect())
+            }),
+        ),
+        (
+            "link_delay_ms",
+            num(cfg.experiment.net.link_delay.as_nanos() as f64 / 1e6),
+        ),
+        (
+            "lossy_recovery",
+            JsonValue::Bool(cfg.experiment.lossy_recovery),
+        ),
+        ("cache_capacity", uint(cfg.cesrm.cache_capacity as u64)),
+        ("router_assist", JsonValue::Bool(cfg.cesrm.router_assist)),
+        ("jobs", uint(result.timing.jobs as u64)),
+    ]);
+
+    let totals = obj(vec![
+        ("runs", uint(result.profiles.len() as u64)),
+        ("wall_s", num(wall_s)),
+        ("cpu_s", num(cpu_s)),
+        (
+            "speedup",
+            num(if wall_s > 0.0 { cpu_s / wall_s } else { 0.0 }),
+        ),
+        ("events", uint(events)),
+        ("events_per_sec", num(per_sec(events, wall_s))),
+        ("peak_queue_bytes", uint(peak_queue_bytes)),
+    ]);
+
+    let counters = JsonValue::Obj(
+        merged
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), uint(v)))
+            .collect(),
+    );
+    let gauges = JsonValue::Obj(
+        merged
+            .gauges
+            .iter()
+            .map(|(k, g)| {
+                (
+                    k.clone(),
+                    obj(vec![
+                        ("value", num(g.value as f64)),
+                        ("high_water", num(g.high_water as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let histograms = JsonValue::Obj(
+        merged
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    obj(vec![
+                        ("count", uint(h.count())),
+                        ("sum", uint(h.sum())),
+                        ("min", opt_uint(h.min())),
+                        ("max", opt_uint(h.max())),
+                        ("p50", opt_uint(h.quantile(0.5))),
+                        ("p90", opt_uint(h.quantile(0.9))),
+                        ("p99", opt_uint(h.quantile(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let sketches = JsonValue::Obj(
+        merged
+            .sketches
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    obj(vec![
+                        ("count", uint(s.count())),
+                        ("k", uint(s.k() as u64)),
+                        ("rank_error_bound", uint(s.rank_error_bound())),
+                        ("p50", opt_uint(s.quantile(0.5))),
+                        ("p90", opt_uint(s.quantile(0.9))),
+                        ("p99", opt_uint(s.quantile(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+
+    let runs = JsonValue::Arr(
+        result
+            .profiles
+            .iter()
+            .map(|p| {
+                let run_wall = p.wall.as_secs_f64();
+                obj(vec![
+                    ("trace", uint(p.trace as u64)),
+                    ("name", JsonValue::Str(p.name.to_string())),
+                    ("protocol", JsonValue::Str(p.protocol.to_string())),
+                    ("events", uint(p.events_processed)),
+                    ("peak_queue_bytes", uint(p.peak_queue_bytes())),
+                    ("wall_s", num(run_wall)),
+                    ("events_per_sec", num(per_sec(p.events_processed, run_wall))),
+                ])
+            })
+            .collect(),
+    );
+
+    let headline_traces: Vec<JsonValue> = result
+        .pairs
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("trace", uint(p.spec.number as u64)),
+                ("name", JsonValue::Str(p.spec.name.to_string())),
+                ("latency_ratio", num(p.latency_ratio())),
+                ("retrans_ratio", num(p.retransmission_overhead_ratio())),
+                ("control_ratio", num(p.control_overhead_ratio())),
+            ])
+        })
+        .collect();
+    let mean = |f: fn(&crate::suite::TracePair) -> f64| {
+        if result.pairs.is_empty() {
+            0.0
+        } else {
+            result.pairs.iter().map(f).sum::<f64>() / result.pairs.len() as f64
+        }
+    };
+    let headline = obj(vec![
+        ("latency_ratio_mean", num(mean(|p| p.latency_ratio()))),
+        (
+            "retrans_ratio_mean",
+            num(mean(|p| p.retransmission_overhead_ratio())),
+        ),
+        (
+            "control_ratio_mean",
+            num(mean(|p| p.control_overhead_ratio())),
+        ),
+        ("traces", JsonValue::Arr(headline_traces)),
+    ]);
+
+    let doc = obj(vec![
+        ("schema", JsonValue::Str(BENCH_SCHEMA.to_string())),
+        ("created", JsonValue::Str(format!("{y:04}-{m:02}-{d:02}"))),
+        ("suite", suite),
+        ("totals", totals),
+        (
+            "merged",
+            obj(vec![
+                ("counters", counters),
+                ("gauges", gauges),
+                ("histograms", histograms),
+                ("sketches", sketches),
+            ]),
+        ),
+        ("runs", runs),
+        ("headline", headline),
+    ]);
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    text
+}
+
+/// Nulls every [`VOLATILE_FIELDS`] member anywhere in `json` and returns
+/// the compact serialization: two profiled runs of the same configuration
+/// agree byte-for-byte on this form at any worker count.
+pub fn strip_volatile(json: &str) -> Result<String, String> {
+    let mut doc = JsonValue::parse(json)?;
+    scrub(&mut doc);
+    Ok(doc.to_string_compact())
+}
+
+fn scrub(v: &mut JsonValue) {
+    match v {
+        JsonValue::Obj(members) => {
+            for (k, v) in members.iter_mut() {
+                if VOLATILE_FIELDS.contains(&k.as_str()) {
+                    *v = JsonValue::Null;
+                } else {
+                    scrub(v);
+                }
+            }
+        }
+        JsonValue::Arr(items) => items.iter_mut().for_each(scrub),
+        _ => {}
+    }
+}
+
+fn totals_field(doc: &JsonValue, field: &str) -> Result<f64, String> {
+    doc.get("totals")
+        .and_then(|t| t.get(field))
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("report lacks totals.{field}"))
+}
+
+/// Diffs `candidate` against `baseline` (both `cesrm-bench/1` documents)
+/// and applies `thresholds`. Always returns the comparison lines; the
+/// `regressions` list is non-empty iff a threshold was breached. Errors on
+/// malformed documents or a schema mismatch.
+pub fn compare_reports(
+    baseline: &str,
+    candidate: &str,
+    thresholds: &BenchThresholds,
+) -> Result<BenchComparison, String> {
+    let base = JsonValue::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cand = JsonValue::parse(candidate).map_err(|e| format!("candidate: {e}"))?;
+    for (doc, which) in [(&base, "baseline"), (&cand, "candidate")] {
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(BENCH_SCHEMA) {
+            return Err(format!(
+                "{which} schema is {schema:?}, expected {BENCH_SCHEMA:?}"
+            ));
+        }
+    }
+
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+
+    let base_events = totals_field(&base, "events")?;
+    let cand_events = totals_field(&cand, "events")?;
+    if base_events != cand_events {
+        lines.push(format!(
+            "note: deterministic event totals differ (baseline {base_events}, candidate \
+             {cand_events}) — the two reports likely ran different configurations, so the \
+             wall-clock comparison below is between unlike workloads"
+        ));
+    }
+
+    let base_wall = totals_field(&base, "wall_s")?;
+    let cand_wall = totals_field(&cand, "wall_s")?;
+    let wall_pct = if base_wall > 0.0 {
+        (cand_wall - base_wall) / base_wall * 100.0
+    } else {
+        0.0
+    };
+    lines.push(format!(
+        "wall-clock: baseline {base_wall:.3}s, candidate {cand_wall:.3}s ({wall_pct:+.1}%, \
+         threshold +{:.1}%)",
+        thresholds.max_wall_pct
+    ));
+    if wall_pct > thresholds.max_wall_pct {
+        regressions.push(format!(
+            "wall-clock regressed {wall_pct:+.1}% (limit +{:.1}%)",
+            thresholds.max_wall_pct
+        ));
+    }
+
+    let base_eps = totals_field(&base, "events_per_sec")?;
+    let cand_eps = totals_field(&cand, "events_per_sec")?;
+    let eps_pct = if base_eps > 0.0 {
+        (cand_eps - base_eps) / base_eps * 100.0
+    } else {
+        0.0
+    };
+    lines.push(format!(
+        "throughput: baseline {base_eps:.0} events/s, candidate {cand_eps:.0} events/s \
+         ({eps_pct:+.1}%, threshold -{:.1}%)",
+        thresholds.max_throughput_pct
+    ));
+    if eps_pct < -thresholds.max_throughput_pct {
+        regressions.push(format!(
+            "throughput regressed {eps_pct:+.1}% (limit -{:.1}%)",
+            thresholds.max_throughput_pct
+        ));
+    }
+
+    Ok(BenchComparison { lines, regressions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiled_result() -> (SuiteConfig, SuiteResult) {
+        let mut cfg = SuiteConfig::quick(0.01).with_metrics();
+        cfg.traces = Some(vec![4]);
+        let result = crate::run_suite(&cfg);
+        (cfg, result)
+    }
+
+    #[test]
+    fn report_carries_schema_and_deterministic_sections() {
+        let (cfg, result) = profiled_result();
+        let text = bench_report(&cfg, &result);
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(BENCH_SCHEMA));
+        assert_eq!(
+            doc.get("totals").unwrap().get("runs").unwrap().as_u64(),
+            Some(2)
+        );
+        assert!(totals_field(&doc, "events").unwrap() > 0.0);
+        let counters = doc.get("merged").unwrap().get("counters").unwrap();
+        assert!(counters.get("sim.events.hop").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            counters
+                .get("recovery.recovered")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert_eq!(doc.get("runs").unwrap().as_arr().unwrap().len(), 2);
+        let headline = doc.get("headline").unwrap();
+        let ratio = headline
+            .get("latency_ratio_mean")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(ratio > 0.0 && ratio < 1.0, "latency ratio {ratio}");
+    }
+
+    #[test]
+    fn stripping_makes_repeat_runs_byte_identical() {
+        let (cfg, result) = profiled_result();
+        let a = bench_report(&cfg, &result);
+        let (_, again) = profiled_result();
+        let b = bench_report(&cfg, &again);
+        // Raw documents differ (wall-clock), stripped documents agree.
+        assert_eq!(strip_volatile(&a).unwrap(), strip_volatile(&b).unwrap());
+        let stripped = strip_volatile(&a).unwrap();
+        assert!(stripped.contains(r#""wall_s":null"#));
+        assert!(stripped.contains(r#""created":null"#));
+        assert!(!stripped.contains(r#""events":null"#));
+    }
+
+    #[test]
+    fn comparison_flags_only_genuine_regressions() {
+        let (cfg, result) = profiled_result();
+        let report = bench_report(&cfg, &result);
+        let same = compare_reports(&report, &report, &BenchThresholds::default()).unwrap();
+        assert!(!same.is_regression(), "{:?}", same.regressions);
+
+        // Inflate the candidate's wall-clock 10× and cut throughput 10×.
+        let mut slow = JsonValue::parse(&report).unwrap();
+        let totals = slow.get_mut("totals").unwrap();
+        let wall = totals.get("wall_s").unwrap().as_f64().unwrap();
+        *totals.get_mut("wall_s").unwrap() = JsonValue::Num(wall * 10.0);
+        let eps = totals.get("events_per_sec").unwrap().as_f64().unwrap();
+        *totals.get_mut("events_per_sec").unwrap() = JsonValue::Num(eps / 10.0);
+        let verdict = compare_reports(
+            &report,
+            &slow.to_string_compact(),
+            &BenchThresholds::default(),
+        )
+        .unwrap();
+        assert_eq!(verdict.regressions.len(), 2, "{:?}", verdict.regressions);
+    }
+
+    #[test]
+    fn comparison_rejects_schema_mismatch() {
+        let err = compare_reports(
+            r#"{"schema":"other/9"}"#,
+            r#"{}"#,
+            &BenchThresholds::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("baseline schema"), "{err}");
+    }
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_670), (2026, 8, 5));
+        assert_eq!(utc_date_stamp().len(), 8);
+    }
+}

@@ -1,0 +1,81 @@
+//! Compares two `cesrm-bench/1` performance reports (see `docs/METRICS.md`).
+//!
+//! ```text
+//! cargo run -p harness --bin bench_compare -- \
+//!     --baseline bench/baseline.json --candidate BENCH_20260806.json \
+//!     [--max-wall-pct P] [--max-throughput-pct P] [--warn-only]
+//! ```
+//!
+//! Exit status: 0 when within thresholds, 3 on a perf regression (unless
+//! `--warn-only`), 1 on malformed input, 2 on bad usage.
+
+use harness::{compare_reports, BenchThresholds};
+
+fn main() {
+    let mut baseline: Option<std::path::PathBuf> = None;
+    let mut candidate: Option<std::path::PathBuf> = None;
+    let mut thresholds = BenchThresholds::default();
+    let mut warn_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(std::path::PathBuf::from(
+                    args.next().expect("--baseline requires a file"),
+                ));
+            }
+            "--candidate" => {
+                candidate = Some(std::path::PathBuf::from(
+                    args.next().expect("--candidate requires a file"),
+                ));
+            }
+            "--max-wall-pct" => {
+                thresholds.max_wall_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-wall-pct requires a percentage");
+            }
+            "--max-throughput-pct" => {
+                thresholds.max_throughput_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-throughput-pct requires a percentage");
+            }
+            "--warn-only" => warn_only = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline), Some(candidate)) = (baseline, candidate) else {
+        eprintln!("usage: bench_compare --baseline FILE --candidate FILE");
+        std::process::exit(2);
+    };
+    let read = |path: &std::path::Path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    };
+    let verdict =
+        compare_reports(&read(&baseline), &read(&candidate), &thresholds).unwrap_or_else(|e| {
+            eprintln!("comparison failed: {e}");
+            std::process::exit(1);
+        });
+    for line in &verdict.lines {
+        println!("{line}");
+    }
+    if verdict.is_regression() {
+        for r in &verdict.regressions {
+            eprintln!("PERF REGRESSION: {r}");
+        }
+        if warn_only {
+            eprintln!("(--warn-only set; not failing)");
+        } else {
+            std::process::exit(3);
+        }
+    } else {
+        println!("no perf regression");
+    }
+}

@@ -5,6 +5,8 @@
 //!     [--traces 1,2,3] [--link-delay-ms MS] [--lossy-recovery]
 //!     [--jobs N] [--timings] [--seeds N] [--csv-dir DIR]
 //!     [--trace FILE] [--trace-filter seq=N|receiver=N] [--trace-slowest N]
+//!     [--bench-report FILE] [--baseline FILE] [--baseline-max-wall-pct P]
+//!     [--baseline-max-throughput-pct P] [--baseline-warn-only]
 //! ```
 //!
 //! At `--scale 1.0` (default) the full Table-1 packet counts are reenacted;
@@ -18,8 +20,16 @@
 //! events (see `docs/TRACING.md`), writes them as JSONL to `FILE`
 //! (optionally narrowed by `--trace-filter`), and prints the provenance
 //! coverage plus the `--trace-slowest` (default 10) slowest recoveries.
+//!
+//! `--bench-report FILE` self-profiles every run through the `obs` metrics
+//! registry and writes the merged `cesrm-bench/1` JSON document (see
+//! `docs/METRICS.md`). Pass `-` for `FILE` to use the canonical
+//! `BENCH_<YYYYMMDD>.json` name in the working directory. `--baseline`
+//! compares the fresh report against a previous one and exits with status
+//! 3 when wall-clock or throughput regress past the thresholds (unless
+//! `--baseline-warn-only`).
 
-use harness::{run_suite, SuiteConfig, TraceFilter};
+use harness::{bench_report, run_suite, BenchThresholds, SuiteConfig, TraceFilter};
 
 fn main() {
     let mut cfg = SuiteConfig::paper_default();
@@ -29,6 +39,10 @@ fn main() {
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut trace_filter = TraceFilter::default();
     let mut trace_slowest: usize = 10;
+    let mut bench_path: Option<std::path::PathBuf> = None;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut thresholds = BenchThresholds::default();
+    let mut baseline_warn_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -99,6 +113,33 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--trace-slowest requires a count");
             }
+            "--bench-report" => {
+                let path = args.next().expect("--bench-report requires a path or -");
+                bench_path = Some(if path == "-" {
+                    std::path::PathBuf::from(format!("BENCH_{}.json", harness::utc_date_stamp()))
+                } else {
+                    std::path::PathBuf::from(path)
+                });
+                cfg.collect_metrics = true;
+            }
+            "--baseline" => {
+                baseline_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--baseline requires a file"),
+                ));
+            }
+            "--baseline-max-wall-pct" => {
+                thresholds.max_wall_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--baseline-max-wall-pct requires a percentage");
+            }
+            "--baseline-max-throughput-pct" => {
+                thresholds.max_throughput_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--baseline-max-throughput-pct requires a percentage");
+            }
+            "--baseline-warn-only" => baseline_warn_only = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -168,6 +209,56 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = bench_path {
+        let report = bench_report(&cfg, &result);
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("failed to create {}: {e}", parent.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("failed to write bench report: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote bench report ({} profiled runs, {} events) to {}",
+            result.profiles.len(),
+            result.total_events(),
+            path.display()
+        );
+        if let Some(base_path) = baseline_path {
+            let baseline = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+                eprintln!("failed to read baseline {}: {e}", base_path.display());
+                std::process::exit(1);
+            });
+            match harness::compare_reports(&baseline, &report, &thresholds) {
+                Ok(verdict) => {
+                    for line in &verdict.lines {
+                        println!("baseline: {line}");
+                    }
+                    if verdict.is_regression() {
+                        for r in &verdict.regressions {
+                            eprintln!("PERF REGRESSION: {r}");
+                        }
+                        if !baseline_warn_only {
+                            std::process::exit(3);
+                        }
+                        eprintln!("(--baseline-warn-only set; not failing)");
+                    } else {
+                        println!("baseline: no perf regression");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("baseline comparison failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if baseline_path.is_some() {
+        eprintln!("--baseline requires --bench-report (nothing to compare)");
+        std::process::exit(2);
     }
     if seeds > 1 {
         let list: Vec<u64> = (0..seeds as u64)

@@ -114,7 +114,12 @@ mod tests {
         let mut cfg = SuiteConfig::quick(0.01);
         cfg.traces = Some(vec![4]);
         let r = run_suite(&cfg);
-        let dir = std::env::temp_dir().join("cesrm_csv_test");
+        // A nested path that does not exist yet: the writer must create
+        // the whole chain rather than error.
+        let root = std::env::temp_dir().join("cesrm_csv_test");
+        std::fs::remove_dir_all(&root).ok();
+        let dir = root.join("deep/nested");
+        assert!(!dir.exists());
         let written = r.write_csv_files(&dir).unwrap();
         assert_eq!(written.len(), 6);
         for path in &written {
@@ -131,6 +136,6 @@ mod tests {
                 );
             }
         }
-        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&root).ok();
     }
 }

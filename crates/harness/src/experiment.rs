@@ -98,6 +98,9 @@ pub struct RunMetrics {
     /// Link crossings by expedited replies only (exposure accounting for
     /// the router-assisted variant, §3.3).
     pub expedited_reply_crossings: u64,
+    /// Simulator events processed during the run (the perf-baseline
+    /// denominator for events/sec).
+    pub events_processed: u64,
 }
 
 impl RunMetrics {
@@ -167,6 +170,22 @@ pub fn run_trace_traced(
     cfg: &ExperimentConfig,
     events: &obs::TraceHandle,
 ) -> RunMetrics {
+    run_trace_instrumented(trace, protocol, cfg, events, &obs::MetricsHandle::off())
+}
+
+/// Like [`run_trace_traced`], but additionally wires a runtime-metrics
+/// registry (see [`obs::registry`]) into the simulator, the recovery log
+/// and every protocol agent. Both handles are owned by this one
+/// reenactment; the registry is observation-only and never perturbs the
+/// simulation. Snapshot `metrics` after the call to read the run's
+/// profile.
+pub fn run_trace_instrumented(
+    trace: &Trace,
+    protocol: Protocol,
+    cfg: &ExperimentConfig,
+    events: &obs::TraceHandle,
+    metrics: &obs::MetricsHandle,
+) -> RunMetrics {
     // §4.2: estimate link loss rates and build the link trace
     // representation driving the loss injection.
     let rates = yajnik_rates(trace);
@@ -187,8 +206,10 @@ pub fn run_trace_traced(
         sim.set_loss(Box::new(TraceLoss::new(plan)));
     }
     sim.set_trace(events.clone());
+    sim.set_metrics(metrics);
     let log = RecoveryLog::shared();
     log.borrow_mut().set_trace(events.clone());
+    log.borrow_mut().set_metrics(metrics);
     let collector = Rc::new(RefCell::new(TrafficCollector::new()));
     sim.set_observer(Box::new(Rc::clone(&collector)));
 
@@ -206,7 +227,8 @@ pub fn run_trace_traced(
                 source,
                 Box::new(
                     SrmAgent::source(source, params, source_cfg, log.clone())
-                        .with_trace(events.clone()),
+                        .with_trace(events.clone())
+                        .with_metrics(metrics),
                 ),
             );
             for &r in tree.receivers() {
@@ -214,7 +236,8 @@ pub fn run_trace_traced(
                     r,
                     Box::new(
                         SrmAgent::receiver(r, source, params, log.clone())
-                            .with_trace(events.clone()),
+                            .with_trace(events.clone())
+                            .with_metrics(metrics),
                     ),
                 );
             }
@@ -224,7 +247,8 @@ pub fn run_trace_traced(
                 source,
                 Box::new(
                     CesrmAgent::source(source, ccfg, source_cfg, log.clone())
-                        .with_trace(events.clone()),
+                        .with_trace(events.clone())
+                        .with_metrics(metrics),
                 ),
             );
             for &r in tree.receivers() {
@@ -232,7 +256,8 @@ pub fn run_trace_traced(
                     r,
                     Box::new(
                         CesrmAgent::receiver(r, source, ccfg, log.clone())
-                            .with_trace(events.clone()),
+                            .with_trace(events.clone())
+                            .with_metrics(metrics),
                     ),
                 );
             }
@@ -240,6 +265,7 @@ pub fn run_trace_traced(
     }
     let end = SimTime::ZERO + cfg.warmup + period * trace.packets() as u32 + cfg.drain;
     sim.run_until(end);
+    let events_processed = sim.events_processed();
 
     let log = log.borrow();
     let collector = collector.borrow();
@@ -289,6 +315,7 @@ pub fn run_trace_traced(
         attribution,
         samples,
         expedited_reply_crossings: collector.crossings_any_cast(PacketKind::ExpeditedReply),
+        events_processed,
     }
 }
 

@@ -32,6 +32,7 @@
 //! `capture_events`) as JSONL and prints the provenance coverage plus the
 //! slowest recoveries ([`tracing`]); schema in `docs/TRACING.md`.
 
+pub mod bench_report;
 mod csv;
 mod experiment;
 mod render;
@@ -40,10 +41,17 @@ mod suite;
 mod sweep;
 pub mod tracing;
 
+pub use bench_report::{
+    bench_report, compare_reports, strip_volatile, utc_date_stamp, BenchComparison,
+    BenchThresholds, BENCH_SCHEMA, VOLATILE_FIELDS,
+};
 pub use experiment::{
-    run_trace, run_trace_traced, ExperimentConfig, Protocol, RecoverySample, RunMetrics,
+    run_trace, run_trace_instrumented, run_trace_traced, ExperimentConfig, Protocol,
+    RecoverySample, RunMetrics,
 };
 pub use runner::{default_parallelism, resolve_jobs, run_indexed, RunTiming, SuiteTiming};
-pub use suite::{run_suite, run_suites, RunEventLog, SuiteConfig, SuiteResult, TracePair};
+pub use suite::{
+    run_suite, run_suites, RunEventLog, RunProfile, SuiteConfig, SuiteResult, TracePair,
+};
 pub use sweep::{seed_sweep, Stat, SweepSummary};
 pub use tracing::{coverage, slowest_text, write_jsonl, TraceCoverage, TraceFilter};

@@ -303,7 +303,9 @@ impl SuiteResult {
 
     /// Per-run wall-clock timings of this invocation: one line per
     /// (trace × protocol) reenactment plus the pool's end-to-end wall
-    /// clock, serial-equivalent cost and observed speedup.
+    /// clock, serial-equivalent cost and observed speedup. Lines are
+    /// sorted by trace index (SRM before CESRM per trace), never by
+    /// completion order, so the listing is stable across worker counts.
     pub fn timings_text(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "Run timings ({} worker threads)", self.timing.jobs);
@@ -312,7 +314,9 @@ impl SuiteResult {
             "{:>2}  {:<10} {:<6} {:>12}",
             "#", "Name", "Proto", "Wall"
         );
-        for run in &self.timing.runs {
+        let mut runs: Vec<_> = self.timing.runs.iter().collect();
+        runs.sort_by_key(|run| (run.trace, run.protocol != "SRM"));
+        for run in runs {
             let _ = writeln!(
                 s,
                 "{:>2}  {:<10} {:<6} {:>9.3} s",
@@ -387,5 +391,21 @@ mod tests {
         assert!(dist.contains("WRN950919"));
         let chart = r.fig1_chart();
         assert!(chart.contains("SRM") && chart.contains('#'));
+    }
+
+    #[test]
+    fn timings_text_lists_runs_in_trace_order_not_completion_order() {
+        let mut cfg = SuiteConfig::quick(0.01);
+        cfg.traces = Some(vec![4, 13]);
+        let mut r = run_suite(&cfg);
+        // Scramble the stored order the way an unordered pool completion
+        // might; the rendering must still come out in trace order.
+        r.timing.runs.reverse();
+        let text = r.timings_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with(" 4") && !lines[2].contains("CESRM"));
+        assert!(lines[3].starts_with(" 4") && lines[3].contains("CESRM"));
+        assert!(lines[4].starts_with("13") && !lines[4].contains("CESRM"));
+        assert!(lines[5].starts_with("13") && lines[5].contains("CESRM"));
     }
 }

@@ -5,7 +5,7 @@ use netsim::SimDuration;
 use traces::{table1, LossStats, TraceSpec};
 
 use crate::runner::{resolve_jobs, run_indexed, RunTiming, SuiteTiming};
-use crate::{run_trace_traced, ExperimentConfig, Protocol, RunMetrics};
+use crate::{run_trace_instrumented, ExperimentConfig, Protocol, RunMetrics};
 
 /// Configuration of a full evaluation-suite run over the Table-1 traces.
 #[derive(Clone, PartialEq, Debug)]
@@ -33,6 +33,13 @@ pub struct SuiteConfig {
     /// worker count and the measured `pairs` stay byte-identical to a
     /// capture-off run.
     pub capture_events: bool,
+    /// When `true`, every reenactment self-profiles through a per-run
+    /// [`obs::MetricsHandle`] (simulator event/timer/packet counts, SRM
+    /// suppression outcomes, CESRM cache traffic, recovery lifecycle) into
+    /// [`SuiteResult::profiles`]. Like event capture, each run owns its
+    /// registry, so profiling is race-free under any worker count and the
+    /// measured `pairs` stay byte-identical to a metrics-off run.
+    pub collect_metrics: bool,
 }
 
 impl SuiteConfig {
@@ -46,6 +53,7 @@ impl SuiteConfig {
             cesrm: CesrmConfig::paper_default(),
             jobs: None,
             capture_events: false,
+            collect_metrics: false,
         }
     }
 
@@ -66,6 +74,12 @@ impl SuiteConfig {
     /// Sets the worker-thread count (0 and 1 both mean serial).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs);
+        self
+    }
+
+    /// Turns on per-run self-profiling (see [`SuiteResult::profiles`]).
+    pub fn with_metrics(mut self) -> Self {
+        self.collect_metrics = true;
         self
     }
 
@@ -152,6 +166,51 @@ pub struct RunEventLog {
     pub records: Vec<obs::Record>,
 }
 
+/// The self-profile of one (trace × protocol) reenactment: the run's
+/// metrics snapshot plus the wall-clock context needed to turn it into
+/// throughput figures. Only the `wall` field depends on the machine and
+/// worker count; everything else is deterministic.
+#[derive(Clone, Debug)]
+pub struct RunProfile {
+    /// Table-1 trace number (1-based).
+    pub trace: usize,
+    /// Trace name, e.g. `"WRN950919"`.
+    pub name: &'static str,
+    /// `"SRM"` or `"CESRM"`.
+    pub protocol: &'static str,
+    /// Wall-clock time of the reenactment on its worker thread.
+    pub wall: Duration,
+    /// Simulator events processed (the events/sec numerator).
+    pub events_processed: u64,
+    /// Everything the run's instruments observed.
+    pub snapshot: obs::MetricsSnapshot,
+}
+
+impl RunProfile {
+    /// Simulator events processed per wall-clock second (0 when the run
+    /// was too fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated peak memory of the simulator event queue in bytes:
+    /// queue-depth high water × the per-event footprint. A deterministic
+    /// lower-bound estimate, not an RSS measurement.
+    pub fn peak_queue_bytes(&self) -> u64 {
+        let depth = self
+            .snapshot
+            .gauges
+            .get("sim.queue.depth")
+            .map_or(0, |g| g.high_water.max(0) as u64);
+        depth * netsim::scheduled_event_footprint_bytes() as u64
+    }
+}
+
 /// The full evaluation suite: every requested trace under SRM and CESRM.
 #[derive(Clone, Debug)]
 pub struct SuiteResult {
@@ -164,10 +223,34 @@ pub struct SuiteResult {
     /// Kept out of [`TracePair`] so capture can never perturb the
     /// measurement comparisons.
     pub events: Vec<RunEventLog>,
+    /// Per-run self-profiles, one per run in slot order (SRM before CESRM
+    /// per trace); empty unless [`SuiteConfig::collect_metrics`] was set.
+    /// Kept out of [`TracePair`] so profiling can never perturb the
+    /// measurement comparisons.
+    pub profiles: Vec<RunProfile>,
     /// Wall-clock observability of this invocation. Timing never feeds
     /// back into the measurements: two runs of equal configuration have
     /// equal `pairs` (and CSV output) regardless of `jobs`.
     pub timing: SuiteTiming,
+}
+
+impl SuiteResult {
+    /// Folds every per-run snapshot into one suite-wide snapshot, in slot
+    /// order. Snapshot merging is associative and the fold order is fixed,
+    /// so the merged registry is identical at every worker count. Empty
+    /// when the suite ran without [`SuiteConfig::collect_metrics`].
+    pub fn merged_snapshot(&self) -> obs::MetricsSnapshot {
+        let mut merged = obs::MetricsSnapshot::default();
+        for profile in &self.profiles {
+            merged.merge(&profile.snapshot);
+        }
+        merged
+    }
+
+    /// Total simulator events processed across every profiled run.
+    pub fn total_events(&self) -> u64 {
+        self.profiles.iter().map(|p| p.events_processed).sum()
+    }
 }
 
 /// A fully owned description of one (trace × protocol × seed) reenactment;
@@ -179,6 +262,7 @@ struct RunJob {
     seed: u64,
     experiment: ExperimentConfig,
     capture: bool,
+    profile: bool,
 }
 
 /// What one job sends back through the pool.
@@ -190,6 +274,8 @@ struct RunOutput {
     trace_stats: Option<LossStats>,
     /// The captured structured events, when the suite asked for them.
     events: Option<RunEventLog>,
+    /// The run's self-profile, when the suite asked for one.
+    profile: Option<RunProfile>,
     timing: RunTiming,
 }
 
@@ -210,7 +296,16 @@ impl RunJob {
         } else {
             obs::TraceHandle::off()
         };
-        let metrics = run_trace_traced(&trace, self.protocol, &self.experiment, &handle);
+        // Likewise for profiling: each run builds its registry on its own
+        // worker thread (the handle is `!Send`), snapshots it, and ships
+        // only the `Send` snapshot back through the pool.
+        let registry = if self.profile {
+            obs::MetricsHandle::new()
+        } else {
+            obs::MetricsHandle::off()
+        };
+        let metrics =
+            run_trace_instrumented(&trace, self.protocol, &self.experiment, &handle, &registry);
         let events = self.capture.then(|| {
             let tree = trace.tree();
             RunEventLog {
@@ -228,16 +323,26 @@ impl RunJob {
                 records: handle.drain(),
             }
         });
+        let wall = started.elapsed();
+        let profile = self.profile.then(|| RunProfile {
+            trace: self.spec.number,
+            name: self.spec.name,
+            protocol: protocol_name,
+            wall,
+            events_processed: metrics.events_processed,
+            snapshot: registry.snapshot(),
+        });
         RunOutput {
             spec: self.spec.clone(),
             metrics,
             trace_stats,
             events,
+            profile,
             timing: RunTiming {
                 trace: self.spec.number,
                 name: self.spec.name,
                 protocol: protocol_name,
-                wall: started.elapsed(),
+                wall,
             },
         }
     }
@@ -255,6 +360,7 @@ fn suite_jobs(cfg: &SuiteConfig, seed: u64) -> Vec<RunJob> {
                 seed,
                 experiment: cfg.experiment,
                 capture: cfg.capture_events,
+                profile: cfg.collect_metrics,
             })
         })
         .collect()
@@ -269,12 +375,15 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
     let mut pairs = Vec::with_capacity(outputs.len() / 2);
     let mut runs = Vec::with_capacity(outputs.len());
     let mut events = Vec::new();
+    let mut profiles = Vec::new();
     let mut it = outputs.into_iter();
     while let (Some(mut srm), Some(mut cesrm)) = (it.next(), it.next()) {
         runs.push(srm.timing.clone());
         runs.push(cesrm.timing.clone());
         events.extend(srm.events.take());
         events.extend(cesrm.events.take());
+        profiles.extend(srm.profile.take());
+        profiles.extend(cesrm.profile.take());
         pairs.push(TracePair {
             spec: srm.spec,
             trace_stats: srm
@@ -288,6 +397,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         scale: cfg.scale,
         pairs,
         events,
+        profiles,
         timing: SuiteTiming {
             jobs: 0,
             wall: Duration::ZERO,
@@ -416,5 +526,61 @@ mod tests {
     #[should_panic(expected = "scale must lie in (0, 1]")]
     fn bad_scale_rejected() {
         run_suite(&SuiteConfig::quick(0.0));
+    }
+
+    #[test]
+    fn profiles_are_off_by_default_and_slot_ordered_when_on() {
+        assert!(tiny_suite().profiles.is_empty());
+
+        let mut cfg = SuiteConfig::quick(0.01).with_metrics();
+        cfg.traces = Some(vec![4, 13]);
+        let r = run_suite(&cfg);
+        assert_eq!(r.profiles.len(), 4);
+        assert_eq!(r.profiles[0].trace, 4);
+        assert_eq!(r.profiles[0].protocol, "SRM");
+        assert_eq!(r.profiles[1].protocol, "CESRM");
+        assert_eq!(r.profiles[2].trace, 13);
+        for p in &r.profiles {
+            assert!(
+                p.events_processed > 0,
+                "{}/{} saw no events",
+                p.name,
+                p.protocol
+            );
+            assert!(p.snapshot.counters["sim.events.hop"] > 0);
+            assert!(p.peak_queue_bytes() > 0);
+        }
+        // Only CESRM runs touch the cache; SRM runs must not.
+        assert!(!r.profiles[0]
+            .snapshot
+            .counters
+            .contains_key("cesrm.cache.hits"));
+        assert!(r.profiles[1]
+            .snapshot
+            .counters
+            .contains_key("cesrm.cache.hits"));
+        assert!(r.total_events() > 0);
+    }
+
+    #[test]
+    fn profiling_never_perturbs_measurements_and_merges_identically() {
+        let mut plain = SuiteConfig::quick(0.01);
+        plain.traces = Some(vec![4]);
+        let mut profiled = plain.clone().with_metrics();
+        let baseline = run_suite(&plain);
+
+        let serial = run_suite(&profiled.clone().with_jobs(1));
+        profiled.jobs = Some(4);
+        let parallel = run_suite(&profiled);
+
+        // Metrics collection must not change the science.
+        assert_eq!(
+            format!("{:?}", baseline.pairs),
+            format!("{:?}", serial.pairs)
+        );
+        // The merged registry is worker-count-invariant (snapshots carry
+        // no wall-clock, so Debug equality is exact).
+        assert_eq!(serial.merged_snapshot(), parallel.merged_snapshot());
+        assert_eq!(serial.total_events(), parallel.total_events());
     }
 }

@@ -68,9 +68,13 @@ impl TraceFilter {
 }
 
 /// Writes the captured suite events as JSONL to `path`, applying `filter`
-/// to the event lines (run and RTT header lines are always kept). Returns
-/// the number of event lines written.
+/// to the event lines (run and RTT header lines are always kept), creating
+/// any missing parent directories. Returns the number of event lines
+/// written.
 pub fn write_jsonl(path: &Path, events: &[RunEventLog], filter: &TraceFilter) -> io::Result<usize> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
     let mut out = BufWriter::new(File::create(path)?);
     let mut written = 0;
     for run in events {
@@ -303,5 +307,28 @@ mod tests {
         assert!(text.contains("Slowest 1"));
         // The slower recovery (node 3, 25 µs = 2.50 RTT) wins the slot.
         assert!(text.contains("2.50"), "report was:\n{text}");
+    }
+
+    #[test]
+    fn write_jsonl_creates_missing_parent_directories() {
+        let run = RunEventLog {
+            trace: 1,
+            name: "T",
+            protocol: "SRM",
+            rtt_ns: vec![(2, 10_000)],
+            records: vec![rec(10, Event::LossDetected { node: 2, seq: 1 })],
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "cesrm-jsonl-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/trace.jsonl");
+        let written = write_jsonl(&path, &[run], &TraceFilter::default()).unwrap();
+        assert_eq!(written, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"loss_detected\""), "file was:\n{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -109,3 +109,75 @@ fn batched_seeds_are_deterministic() {
         assert_eq!(format!("{:?}", s.pairs), format!("{:?}", p.pairs));
     }
 }
+
+/// Metrics self-profiling is a pure observer too: with metrics off the
+/// CSV artifacts stay byte-identical at any worker count (no residue from
+/// the instrumentation hooks), and with metrics on the measurements match
+/// a metrics-off run exactly.
+#[test]
+fn metrics_collection_never_perturbs_measurements() {
+    let off = run_suite(&scaled_config().with_jobs(4));
+    let on = run_suite(&scaled_config().with_metrics().with_jobs(4));
+
+    assert!(off.profiles.is_empty());
+    assert_eq!(on.profiles.len(), 2 * on.pairs.len());
+    assert_eq!(
+        format!("{:?}", off.pairs),
+        format!("{:?}", on.pairs),
+        "profiling must not change what is measured"
+    );
+
+    let dir_off = std::env::temp_dir().join("cesrm_determinism_metrics_off");
+    let dir_on = std::env::temp_dir().join("cesrm_determinism_metrics_on");
+    let files_off = off.write_csv_files(&dir_off).unwrap();
+    let files_on = on.write_csv_files(&dir_on).unwrap();
+    for (a, b) in files_off.iter().zip(&files_on) {
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "CSV diverged between metrics off and on: {}",
+            a.file_name().unwrap().to_string_lossy()
+        );
+    }
+    std::fs::remove_dir_all(&dir_off).ok();
+    std::fs::remove_dir_all(&dir_on).ok();
+}
+
+/// The suite-wide registry merge is associative and slot-ordered, so the
+/// merged snapshot — and with it the whole volatile-stripped BENCH
+/// document — is identical at every worker count.
+#[test]
+fn merged_metrics_and_bench_report_are_worker_count_invariant() {
+    let cfg = scaled_config().with_metrics();
+    let serial = run_suite(&cfg.clone().with_jobs(1));
+    let parallel = run_suite(&cfg.clone().with_jobs(4));
+
+    // Snapshot merging must agree run-by-run and in aggregate. This also
+    // exercises histogram bucket-merge associativity: the per-run
+    // `sim.timer.delay_ns` histograms merge in slot order either way.
+    assert_eq!(serial.profiles.len(), parallel.profiles.len());
+    for (s, p) in serial.profiles.iter().zip(&parallel.profiles) {
+        assert_eq!(s.trace, p.trace);
+        assert_eq!(s.protocol, p.protocol);
+        assert_eq!(
+            s.snapshot, p.snapshot,
+            "{}/{} profile diverged",
+            s.name, s.protocol
+        );
+    }
+    let merged_s = serial.merged_snapshot();
+    let merged_p = parallel.merged_snapshot();
+    assert_eq!(merged_s, merged_p);
+    assert!(merged_s.counters["sim.events.hop"] > 0);
+    assert!(merged_s.histograms["sim.timer.delay_ns"].count() > 0);
+
+    // The full report agrees byte-for-byte once the documented volatile
+    // fields (wall-clock, throughput, jobs, created) are stripped.
+    let report_s = harness::bench_report(&cfg, &serial);
+    let report_p = harness::bench_report(&cfg, &parallel);
+    assert_eq!(
+        harness::strip_volatile(&report_s).unwrap(),
+        harness::strip_volatile(&report_p).unwrap(),
+        "stripped BENCH documents must not depend on the worker count"
+    );
+}

@@ -47,6 +47,7 @@ pub struct LmsSource {
     sent: u64,
     timers: HashMap<TimerToken, SourceTimer>,
     trace: obs::TraceHandle,
+    metrics_replies_sent: obs::Counter,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -74,6 +75,7 @@ impl LmsSource {
             sent: 0,
             timers: HashMap::new(),
             trace: obs::TraceHandle::off(),
+            metrics_replies_sent: obs::Counter::off(),
         }
     }
 
@@ -81,6 +83,14 @@ impl LmsSource {
     /// the `obs` crate); tracing is off by default.
     pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style registration of runtime-profiling counters: the
+    /// source counts the full-tree retransmissions it sends
+    /// (`lms.replies_sent`). Profiling is off by default.
+    pub fn with_metrics(mut self, metrics: &obs::MetricsHandle) -> Self {
+        self.metrics_replies_sent = metrics.counter("lms.replies_sent");
         self
     }
 
@@ -127,6 +137,7 @@ impl Agent for LmsSource {
                     },
                 );
                 let (me, seq, req) = (self.me, id.seq, *requestor);
+                self.metrics_replies_sent.inc();
                 self.trace
                     .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
                         node: me.0,
@@ -182,6 +193,7 @@ pub struct LmsReceiver {
     losses: HashMap<u64, LmsLoss>,
     timers: HashMap<TimerToken, u64>,
     trace: obs::TraceHandle,
+    metrics_replies_sent: obs::Counter,
 }
 
 impl LmsReceiver {
@@ -206,6 +218,7 @@ impl LmsReceiver {
             losses: HashMap::new(),
             timers: HashMap::new(),
             trace: obs::TraceHandle::off(),
+            metrics_replies_sent: obs::Counter::off(),
         }
     }
 
@@ -216,6 +229,14 @@ impl LmsReceiver {
     /// handle; the receiver itself emits `rep_sent` for subcast repairs.
     pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style registration of runtime-profiling counters: the
+    /// receiver counts the subcast repairs it sends
+    /// (`lms.replies_sent`). Profiling is off by default.
+    pub fn with_metrics(mut self, metrics: &obs::MetricsHandle) -> Self {
+        self.metrics_replies_sent = metrics.counter("lms.replies_sent");
         self
     }
 
@@ -335,6 +356,7 @@ impl LmsReceiver {
                 },
             );
             let me = self.me;
+            self.metrics_replies_sent.inc();
             self.trace
                 .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
                     node: me.0,

@@ -48,6 +48,19 @@ pub struct RecoveryLog {
     records: BTreeMap<(NodeId, PacketId), RecoveryRecord>,
     /// Structured-event trace for per-loss provenance; off by default.
     trace: obs::TraceHandle,
+    metrics: LogMetrics,
+}
+
+/// Pre-registered counters over the recovery lifecycle the log arbitrates
+/// (first-win across agents, so these are duplicate-free). No-ops by
+/// default.
+#[derive(Clone, Default, Debug)]
+struct LogMetrics {
+    detected: obs::Counter,
+    recovered: obs::Counter,
+    recovered_expedited: obs::Counter,
+    requests: obs::Counter,
+    spurious: obs::Counter,
 }
 
 /// Shared handle to a [`RecoveryLog`]; one clone per agent plus one for the
@@ -74,6 +87,26 @@ impl RecoveryLog {
         self.trace = trace;
     }
 
+    /// Registers the recovery-lifecycle counters on `metrics`
+    /// (`recovery.detected`, `recovery.recovered`,
+    /// `recovery.recovered_expedited`, `recovery.requests`,
+    /// `recovery.spurious`). Because the log is first-win, the counts are
+    /// free of the duplicates individual agents would produce. A no-op
+    /// when `metrics` is disabled.
+    pub fn set_metrics(&mut self, metrics: &obs::MetricsHandle) {
+        self.metrics = if metrics.is_enabled() {
+            LogMetrics {
+                detected: metrics.counter("recovery.detected"),
+                recovered: metrics.counter("recovery.recovered"),
+                recovered_expedited: metrics.counter("recovery.recovered_expedited"),
+                requests: metrics.counter("recovery.requests"),
+                spurious: metrics.counter("recovery.spurious"),
+            }
+        } else {
+            LogMetrics::default()
+        };
+    }
+
     /// Records that `receiver` detected the loss of `id` at `now`. Repeat
     /// detections keep the earliest timestamp.
     pub fn on_detect(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
@@ -90,6 +123,7 @@ impl RecoveryLog {
             }
         });
         if fresh {
+            self.metrics.detected.inc();
             self.trace
                 .emit(now.as_nanos(), || obs::Event::LossDetected {
                     node: receiver.0,
@@ -113,6 +147,10 @@ impl RecoveryLog {
         if rec.recovered_at.is_none() {
             rec.recovered_at = Some(now);
             rec.expedited = expedited;
+            self.metrics.recovered.inc();
+            if expedited {
+                self.metrics.recovered_expedited.inc();
+            }
             self.trace
                 .emit(now.as_nanos(), || obs::Event::RecoveryCompleted {
                     node: receiver.0,
@@ -135,6 +173,7 @@ impl RecoveryLog {
             .expect("request without prior detection");
         rec.requests_sent += 1;
         let round = rec.requests_sent;
+        self.metrics.requests.inc();
         self.trace.emit(now.as_nanos(), || obs::Event::RequestSent {
             node: receiver.0,
             seq: id.seq.value(),
@@ -150,6 +189,7 @@ impl RecoveryLog {
         if let Some(rec) = self.records.get(&(receiver, id)) {
             if rec.recovered_at.is_none() {
                 self.records.remove(&(receiver, id));
+                self.metrics.spurious.inc();
                 self.trace
                     .emit(now.as_nanos(), || obs::Event::SpuriousLoss {
                         node: receiver.0,

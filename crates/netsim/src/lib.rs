@@ -74,6 +74,6 @@ pub use observer::{Direction, NullObserver, SimObserver};
 pub use packet::{
     CastClass, Packet, PacketBody, PacketId, RecoveryTuple, SeqNo, SessionData, SessionEcho,
 };
-pub use sim::Simulator;
+pub use sim::{scheduled_event_footprint_bytes, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use tracer::{EventTracer, TraceEvent, TraceEventKind};

@@ -72,6 +72,77 @@ struct Scheduled {
     kind: EventKind,
 }
 
+/// Approximate heap footprint of one queued event, used by the harness to
+/// turn the queue-depth high-water mark into a peak-memory estimate for
+/// `BENCH_*.json`. The binary heap stores `Reverse<Scheduled>` inline;
+/// `Hop` events additionally share one `Rc<Packet>` per in-flight packet,
+/// which this deliberately does not count (it is shared, not per-event).
+pub fn scheduled_event_footprint_bytes() -> usize {
+    std::mem::size_of::<Reverse<Scheduled>>()
+}
+
+/// Pre-registered metrics instruments for the simulator hot paths. All
+/// fields are no-ops when profiling is off, so the per-event cost of a
+/// disabled registry is one `Option` branch per instrument touch.
+struct SimMetrics {
+    events_start: obs::Counter,
+    events_timer: obs::Counter,
+    events_hop: obs::Counter,
+    timers_scheduled: obs::Counter,
+    timers_cancelled: obs::Counter,
+    timers_voided: obs::Counter,
+    timer_delay_ns: obs::Histogram,
+    queue_depth: obs::Gauge,
+    packets_forwarded: obs::Counter,
+    packets_dropped: obs::Counter,
+    /// Per-link drop counters indexed by link head node (`LinkId::index`).
+    link_dropped: Vec<obs::Counter>,
+}
+
+impl SimMetrics {
+    fn off() -> Self {
+        SimMetrics {
+            events_start: obs::Counter::off(),
+            events_timer: obs::Counter::off(),
+            events_hop: obs::Counter::off(),
+            timers_scheduled: obs::Counter::off(),
+            timers_cancelled: obs::Counter::off(),
+            timers_voided: obs::Counter::off(),
+            timer_delay_ns: obs::Histogram::off(),
+            queue_depth: obs::Gauge::off(),
+            packets_forwarded: obs::Counter::off(),
+            packets_dropped: obs::Counter::off(),
+            link_dropped: Vec::new(),
+        }
+    }
+
+    fn new(metrics: &obs::MetricsHandle, links: usize) -> Self {
+        SimMetrics {
+            events_start: metrics.counter("sim.events.start"),
+            events_timer: metrics.counter("sim.events.timer"),
+            events_hop: metrics.counter("sim.events.hop"),
+            timers_scheduled: metrics.counter("sim.timers.scheduled"),
+            timers_cancelled: metrics.counter("sim.timers.cancelled"),
+            timers_voided: metrics.counter("sim.timers.voided"),
+            timer_delay_ns: metrics.histogram("sim.timer.delay_ns"),
+            queue_depth: metrics.gauge("sim.queue.depth"),
+            packets_forwarded: metrics.counter("sim.packets.forwarded"),
+            packets_dropped: metrics.counter("sim.packets.dropped"),
+            link_dropped: (0..links)
+                .map(|i| metrics.counter(&format!("sim.link.{i}.dropped")))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn link_dropped(&self, link: LinkId) {
+        self.packets_dropped.inc();
+        if let Some(c) = self.link_dropped.get(link.index()) {
+            c.inc();
+        }
+    }
+}
+
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -115,6 +186,7 @@ pub struct Simulator {
     loss: Box<dyn LossProcess>,
     observer: Box<dyn SimObserver>,
     trace: obs::TraceHandle,
+    metrics: SimMetrics,
     rng: StdRng,
     events_processed: u64,
 }
@@ -138,6 +210,7 @@ impl Simulator {
             loss: Box::new(NoLoss),
             observer: Box::new(NullObserver),
             trace: obs::TraceHandle::off(),
+            metrics: SimMetrics::off(),
             events_processed: 0,
         }
     }
@@ -215,6 +288,26 @@ impl Simulator {
         self.trace = trace;
     }
 
+    /// Registers this simulation's hot-path instruments on `metrics`:
+    /// events dispatched per type (`sim.events.*`), queue depth with its
+    /// high-water mark (`sim.queue.depth`), timer schedule/cancel/void
+    /// churn (`sim.timers.*`) with a delay histogram
+    /// (`sim.timer.delay_ns`), and packets forwarded/dropped overall and
+    /// per link (`sim.packets.*`, `sim.link.<i>.dropped`).
+    ///
+    /// Like [`set_trace`](Simulator::set_trace), the handle is
+    /// per-simulation owned state; the default ([`obs::MetricsHandle::off`])
+    /// costs one branch per instrument touch and observes nothing.
+    /// Profiling is observation-only: it never touches the rng, the event
+    /// queue order, or any protocol state.
+    pub fn set_metrics(&mut self, metrics: &obs::MetricsHandle) {
+        self.metrics = if metrics.is_enabled() {
+            SimMetrics::new(metrics, self.tree.len())
+        } else {
+            SimMetrics::off()
+        };
+    }
+
     /// Attaches a protocol agent to `node`; its
     /// [`on_start`](Agent::on_start) runs at the current simulated time.
     ///
@@ -287,10 +380,13 @@ impl Simulator {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start { node } => {
+                self.metrics.events_start.inc();
                 self.with_agent(node, |agent, ctx| agent.on_start(ctx));
             }
             EventKind::Timer { node, token } => {
+                self.metrics.events_timer.inc();
                 if self.cancelled.remove(&token) {
+                    self.metrics.timers_voided.inc();
                     return;
                 }
                 self.with_agent(node, |agent, ctx| agent.on_timer(ctx, TimerToken(token)));
@@ -301,7 +397,10 @@ impl Simulator {
                 packet,
                 mode,
                 turning_point,
-            } => self.hop(at, from, packet, mode, turning_point),
+            } => {
+                self.metrics.events_hop.inc();
+                self.hop(at, from, packet, mode, turning_point);
+            }
         }
     }
 
@@ -319,16 +418,20 @@ impl Simulator {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.metrics.queue_depth.set(self.queue.len() as i64);
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, after: SimDuration) -> TimerToken {
         let token = self.next_timer;
         self.next_timer += 1;
+        self.metrics.timers_scheduled.inc();
+        self.metrics.timer_delay_ns.record(after.as_nanos());
         self.push(self.now + after, EventKind::Timer { node, token });
         TimerToken(token)
     }
 
     pub(crate) fn cancel_timer(&mut self, token: TimerToken) {
+        self.metrics.timers_cancelled.inc();
         self.cancelled.insert(token.0);
     }
 
@@ -462,6 +565,7 @@ impl Simulator {
         self.observer.on_link_crossing(self.now, link, dir, packet);
         if self.loss.should_drop(link, packet, &mut self.rng) {
             self.observer.on_drop(self.now, link, packet);
+            self.metrics.link_dropped(link);
             self.trace.emit(self.now.as_nanos(), || {
                 let (class, seq) = trace_class(packet);
                 obs::Event::PacketDropped {
@@ -472,6 +576,7 @@ impl Simulator {
             });
             return;
         }
+        self.metrics.packets_forwarded.inc();
         let base_delay = self.link_delay_override[link.index()].unwrap_or(self.cfg.link_delay);
         let jitter = if self.cfg.jitter.is_zero() {
             SimDuration::ZERO
@@ -1042,6 +1147,74 @@ mod tests {
         assert_eq!(order_of(0, 1), vec![1, 2], "FIFO without jitter");
         let reordered = (0..50).any(|seed| order_of(100, seed) == vec![2, 1]);
         assert!(reordered, "large jitter should reorder under some seed");
+    }
+
+    #[test]
+    fn metrics_count_events_and_drops_without_perturbing_the_run() {
+        let run = |metrics: Option<&obs::MetricsHandle>| {
+            let log: Log = Default::default();
+            let mut sim = Simulator::new(sample_tree(), NetConfig::default().with_seed(5));
+            sim.set_loss(Box::new(TraceLoss::new([(LinkId(NodeId(3)), SeqNo(0))])));
+            if let Some(m) = metrics {
+                sim.set_metrics(m);
+            }
+            attach_all_receivers(&mut sim, &log);
+            sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            let deliveries: Vec<_> = log.borrow().iter().map(|e| (e.0, e.1)).collect();
+            (sim.events_processed(), deliveries)
+        };
+        let bare = run(None);
+        let handle = obs::MetricsHandle::new();
+        let profiled = run(Some(&handle));
+        // Observation-only: identical event count and delivery schedule.
+        assert_eq!(bare, profiled);
+        let snap = handle.snapshot();
+        assert_eq!(
+            snap.counters["sim.events.start"], 5,
+            "one start per attached agent"
+        );
+        assert_eq!(
+            snap.counters["sim.events.hop"] + 1,
+            bare.0 - 4,
+            "all non-start events are hops (one was dropped in flight)"
+        );
+        assert_eq!(snap.counters["sim.packets.dropped"], 1);
+        assert_eq!(snap.counters["sim.link.3.dropped"], 1);
+        // Crossings: n0→n1, n1→n2, n0→n6 survive; n1→n3 is the drop, so
+        // the n3 subtree never sees the packet.
+        assert_eq!(snap.counters["sim.packets.forwarded"], 3);
+        assert!(snap.gauges["sim.queue.depth"].high_water >= 1);
+    }
+
+    #[test]
+    fn metrics_track_timer_churn() {
+        struct TimerAgent;
+        impl Agent for TimerAgent {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let _keep = ctx.set_timer(SimDuration::from_millis(10));
+                let kill = ctx.set_timer(SimDuration::from_millis(20));
+                ctx.cancel_timer(kill);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+            fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+        }
+        let handle = obs::MetricsHandle::new();
+        let mut sim = Simulator::new(sample_tree(), NetConfig::default());
+        sim.set_metrics(&handle);
+        sim.attach_agent(NodeId(2), Box::new(TimerAgent));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let snap = handle.snapshot();
+        assert_eq!(snap.counters["sim.timers.scheduled"], 2);
+        assert_eq!(snap.counters["sim.timers.cancelled"], 1);
+        assert_eq!(snap.counters["sim.timers.voided"], 1);
+        assert_eq!(snap.counters["sim.events.timer"], 2);
+        assert_eq!(snap.histograms["sim.timer.delay_ns"].count(), 2);
+    }
+
+    #[test]
+    fn event_footprint_is_nonzero() {
+        assert!(scheduled_event_footprint_bytes() > 0);
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! * [`provenance`] — the reducer that joins raw events into per-loss
 //!   [`RecoveryTimeline`]s (loss → detection → first request → repair),
 //!   classified [`RecoveryPath::Expedited`] vs [`RecoveryPath::Fallback`].
+//! * [`registry`] — the *runtime* half of observability: a per-simulation
+//!   metrics registry ([`MetricsHandle`]) of counters, high-water gauges,
+//!   log-scale histograms and a deterministic quantile sketch, snapshotted
+//!   into mergeable [`MetricsSnapshot`]s for the perf baseline
+//!   (`BENCH_*.json`, schema in `docs/METRICS.md`).
+//! * [`value`] — a serde-free JSON document model ([`JsonValue`]) used by
+//!   the baseline comparator to read reports back.
 //!
 //! This crate is dependency-free by design (node ids are `u32`, sequence
 //! numbers `u64`, timestamps nanoseconds since simulation start) so every
@@ -57,9 +64,16 @@
 mod event;
 mod json;
 pub mod provenance;
+pub mod registry;
 mod sink;
+pub mod value;
 
 pub use event::{Cast, Event, PacketClass, Record};
 pub use json::to_json_line;
 pub use provenance::{RecoveryPath, RecoveryTimeline};
+pub use registry::{
+    Counter, Gauge, GaugeSnapshot, Histogram, LogHistogram, MetricsHandle, MetricsSnapshot,
+    QuantileSketch, Sketch,
+};
 pub use sink::{EventSink, JsonlSink, MemorySink, NoopSink, RingSink, TraceHandle};
+pub use value::JsonValue;

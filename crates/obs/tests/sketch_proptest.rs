@@ -1,0 +1,121 @@
+//! Property tests holding the quantile sketch to the rank-error bound it
+//! reports, against an exact sorted reference.
+//!
+//! The sketch tracks its own worst-case error ([`QuantileSketch::
+//! rank_error_bound`]): each compaction of weight-`w` items adds exactly
+//! `w`, plus the granularity of the heaviest surviving items. These tests
+//! feed adversarial value distributions (duplicates, ramps, spikes) and
+//! check every reported quantile and rank estimate against an exact sort —
+//! including after splitting the stream and merging partial sketches, the
+//! way the suite runner aggregates per-run registries.
+
+use obs::registry::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact number of values in `sorted` that are `<= v`.
+fn exact_rank(sorted: &[u64], v: u64) -> u64 {
+    sorted.partition_point(|&x| x <= v) as u64
+}
+
+/// Asserts that every quantile the sketch reports has an exact rank within
+/// the sketch's self-reported bound of the target rank.
+fn check_against_exact(sketch: &QuantileSketch, values: &[u64]) {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    assert_eq!(sketch.count(), n);
+    let bound = sketch.rank_error_bound();
+    for &q in &[0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let est = sketch.quantile(q).expect("non-empty sketch");
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        // The estimate is always one of the inserted values; its true rank
+        // window is [count(< est) + 1, count(<= est)].
+        let rank_hi = exact_rank(&sorted, est);
+        let rank_lo = exact_rank(&sorted, est.wrapping_sub(1).min(est)) + 1;
+        let rank_lo = if est == 0 { 1 } else { rank_lo };
+        let dist = (rank_lo.saturating_sub(target)).max(target.saturating_sub(rank_hi));
+        assert!(
+            dist <= bound,
+            "q={q}: estimate {est} rank window [{rank_lo},{rank_hi}] \
+             target {target} off by {dist} > bound {bound} (n={n})"
+        );
+    }
+    // Rank estimates obey the same bound.
+    for &probe in sorted.iter().step_by((sorted.len() / 8).max(1)) {
+        let est = sketch.rank(probe);
+        let exact = exact_rank(&sorted, probe);
+        // `rank` counts items <= probe; with duplicates the sketch may
+        // answer anywhere in the duplicate run, widen by count(< probe).
+        let lo = sorted.partition_point(|&x| x < probe) as u64;
+        let dist = (est.saturating_sub(exact)).max(lo.saturating_sub(est));
+        assert!(
+            dist <= bound,
+            "rank({probe}): estimate {est} exact {exact} off by {dist} > bound {bound}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniform random values across the full `u64`-ish range.
+    #[test]
+    fn sketch_within_bound_on_random_values(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..4000),
+    ) {
+        let mut s = QuantileSketch::new(32);
+        for &v in &values {
+            s.record(v);
+        }
+        check_against_exact(&s, &values);
+    }
+
+    /// Heavy duplication: few distinct values, long runs.
+    #[test]
+    fn sketch_within_bound_on_duplicates(
+        values in proptest::collection::vec(0u64..8, 1..3000),
+    ) {
+        let mut s = QuantileSketch::new(32);
+        for &v in &values {
+            s.record(v);
+        }
+        check_against_exact(&s, &values);
+    }
+
+    /// Splitting the stream and merging partial sketches (the suite
+    /// runner's aggregation shape) honours the merged bound too.
+    #[test]
+    fn merged_sketch_within_bound(
+        values in proptest::collection::vec(0u64..100_000, 2..3000),
+        parts in 2usize..5,
+    ) {
+        let mut sketches: Vec<QuantileSketch> =
+            (0..parts).map(|_| QuantileSketch::new(32)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            sketches[i % parts].record(v);
+        }
+        let mut merged = sketches[0].clone();
+        for s in &sketches[1..] {
+            merged.merge(s);
+        }
+        check_against_exact(&merged, &values);
+    }
+}
+
+/// A monotone ramp (worst case for fixed-parity compaction bias).
+#[test]
+fn sketch_within_bound_on_sorted_ramp() {
+    let n = 50_000u64;
+    let mut s = QuantileSketch::new(obs::registry::DEFAULT_SKETCH_K);
+    let values: Vec<u64> = (0..n).collect();
+    for &v in &values {
+        s.record(v);
+    }
+    check_against_exact(&s, &values);
+    // The bound stays sublinear: well under an eighth of the stream.
+    assert!(
+        s.rank_error_bound() < n / 8,
+        "bound {}",
+        s.rank_error_bound()
+    );
+}

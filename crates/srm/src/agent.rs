@@ -95,6 +95,13 @@ impl SrmAgent {
         self.core.set_trace(trace);
         self
     }
+
+    /// Builder-style registration of runtime-profiling counters (see
+    /// [`SrmCore::set_metrics`]); profiling is off by default.
+    pub fn with_metrics(mut self, metrics: &obs::MetricsHandle) -> Self {
+        self.core.set_metrics(metrics);
+        self
+    }
 }
 
 impl Agent for SrmAgent {

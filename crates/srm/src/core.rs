@@ -53,6 +53,33 @@ pub struct SrmCore {
     /// Structured-event trace for timer and suppression decisions; off by
     /// default (see the `obs` crate).
     trace: obs::TraceHandle,
+    metrics: SrmMetrics,
+}
+
+/// Pre-registered counters over the suppression-timer machinery — the
+/// layer the SRM retrospectives single out as where scalability costs
+/// hide. All no-ops by default.
+#[derive(Default)]
+struct SrmMetrics {
+    request_timers_set: obs::Counter,
+    requests_sent: obs::Counter,
+    request_suppressed: obs::Counter,
+    reply_timers_set: obs::Counter,
+    replies_sent: obs::Counter,
+    reply_suppressed: obs::Counter,
+}
+
+impl SrmMetrics {
+    fn new(metrics: &obs::MetricsHandle) -> Self {
+        SrmMetrics {
+            request_timers_set: metrics.counter("srm.request_timers_set"),
+            requests_sent: metrics.counter("srm.requests_sent"),
+            request_suppressed: metrics.counter("srm.request_suppressed"),
+            reply_timers_set: metrics.counter("srm.reply_timers_set"),
+            replies_sent: metrics.counter("srm.replies_sent"),
+            reply_suppressed: metrics.counter("srm.reply_suppressed"),
+        }
+    }
 }
 
 impl SrmCore {
@@ -92,6 +119,7 @@ impl SrmCore {
             default_distance_uses: 0,
             spurious_detections: 0,
             trace: obs::TraceHandle::off(),
+            metrics: SrmMetrics::default(),
         }
     }
 
@@ -103,6 +131,21 @@ impl SrmCore {
     /// handle.
     pub fn set_trace(&mut self, trace: obs::TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Registers this endpoint's suppression-machinery counters on
+    /// `metrics` (`srm.request_timers_set`, `srm.requests_sent`,
+    /// `srm.request_suppressed`, `srm.reply_timers_set`,
+    /// `srm.replies_sent`, `srm.reply_suppressed`). Per-simulation owned,
+    /// observation-only, and a no-op when `metrics` is disabled — the
+    /// counterpart of [`set_trace`](SrmCore::set_trace) for runtime
+    /// profiling.
+    pub fn set_metrics(&mut self, metrics: &obs::MetricsHandle) {
+        self.metrics = if metrics.is_enabled() {
+            SrmMetrics::new(metrics)
+        } else {
+            SrmMetrics::default()
+        };
     }
 
     /// This endpoint's node id.
@@ -357,6 +400,7 @@ impl SrmCore {
             requestor: self.me,
             dist_req_src: dist,
         });
+        self.metrics.requests_sent.inc();
         self.log
             .borrow_mut()
             .on_request_sent(self.me, self.pid(seq), ctx.now());
@@ -388,6 +432,7 @@ impl SrmCore {
             tuple,
             expedited: false,
         });
+        self.metrics.replies_sent.inc();
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
                 node: self.me.0,
@@ -426,6 +471,7 @@ impl SrmCore {
             // request off to the next recovery round, at most once per round
             // (back-off abstinence, §2.1).
             if state.timer.is_some() && ctx.now() >= state.backoff_abstinence_until {
+                self.metrics.request_suppressed.inc();
                 self.trace
                     .emit(ctx.now().as_nanos(), || obs::Event::RequestSuppressed {
                         node: self.me.0,
@@ -469,6 +515,7 @@ impl SrmCore {
         if let Some(tok) = entry.timer.take() {
             ctx.cancel_timer(tok);
             self.timers.remove(&tok);
+            self.metrics.reply_suppressed.inc();
             self.trace
                 .emit(ctx.now().as_nanos(), || obs::Event::ReplySuppressed {
                     node: self.me.0,
@@ -572,6 +619,7 @@ impl SrmCore {
         } else {
             delay.as_secs_f64() / d.as_secs_f64()
         };
+        self.metrics.request_timers_set.inc();
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::RequestScheduled {
                 node: self.me.0,
@@ -626,6 +674,7 @@ impl SrmCore {
         entry.timer = Some(tok);
         entry.requestor = requestor;
         entry.req_dist_src = req_dist_src;
+        self.metrics.reply_timers_set.inc();
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::ReplyScheduled {
                 node: self.me.0,
