@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use metrics::SharedRecoveryLog;
 use netsim::{
@@ -63,9 +63,9 @@ pub struct CesrmAgent {
     cfg: CesrmConfig,
     log: SharedRecoveryLog,
     /// Armed expedited-request timers: token → (lost packet, chosen tuple).
-    expedited: HashMap<TimerToken, (SeqNo, RecoveryTuple)>,
+    expedited: BTreeMap<TimerToken, (SeqNo, RecoveryTuple)>,
     /// Reverse index for cancellation: lost packet → armed token.
-    pending: HashMap<u64, TimerToken>,
+    pending: BTreeMap<u64, TimerToken>,
     /// Structured-event trace for cache consults and expedited traffic; off
     /// by default (see the `obs` crate).
     trace: obs::TraceHandle,
@@ -141,8 +141,8 @@ impl CesrmAgent {
             policy,
             cfg,
             log,
-            expedited: HashMap::new(),
-            pending: HashMap::new(),
+            expedited: BTreeMap::new(),
+            pending: BTreeMap::new(),
             trace: obs::TraceHandle::off(),
             metrics: CesrmMetrics::default(),
         }
@@ -426,6 +426,7 @@ mod tests {
         }
     }
 
+    #[derive(Clone, Copy)]
     enum Proto {
         Cesrm(CesrmConfig),
         Srm,

@@ -46,7 +46,7 @@ impl GroupMember {
     pub fn new(
         me: NodeId,
         cfg: CesrmConfig,
-        log: SharedRecoveryLog,
+        log: &SharedRecoveryLog,
         streams: &[(NodeId, StreamRole)],
     ) -> Self {
         assert!(!streams.is_empty(), "a member needs at least one stream");
@@ -153,7 +153,7 @@ mod tests {
         let tree = tree();
         let log = RecoveryLog::shared();
         let collector = Rc::new(RefCell::new(TrafficCollector::new()));
-        let mut sim = Simulator::new(tree.clone(), NetConfig::default().with_seed(8));
+        let mut sim = Simulator::new(tree, NetConfig::default().with_seed(8));
         sim.set_observer(Box::new(Rc::clone(&collector)));
         let mut drops: Vec<(LinkId, SeqNo)> = (10..40)
             .step_by(5)
@@ -176,7 +176,7 @@ mod tests {
                     }
                 })
                 .collect();
-            sim.attach_agent(n, Box::new(GroupMember::new(n, cfg, log.clone(), &streams)));
+            sim.attach_agent(n, Box::new(GroupMember::new(n, cfg, &log, &streams)));
         }
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
         Run {
@@ -253,7 +253,7 @@ mod tests {
         GroupMember::new(
             NodeId(2),
             CesrmConfig::paper_default(),
-            log,
+            &log,
             &[(A, StreamRole::Receiver), (A, StreamRole::Receiver)],
         );
     }
@@ -262,7 +262,7 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_streams_rejected() {
         let log = RecoveryLog::shared();
-        GroupMember::new(NodeId(2), CesrmConfig::paper_default(), log, &[]);
+        GroupMember::new(NodeId(2), CesrmConfig::paper_default(), &log, &[]);
     }
 
     #[test]
@@ -272,7 +272,7 @@ mod tests {
         GroupMember::new(
             NodeId(2),
             CesrmConfig::paper_default(),
-            log,
+            &log,
             &[(A, StreamRole::Source(source_cfg(1)))],
         );
     }

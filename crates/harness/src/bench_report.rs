@@ -78,6 +78,7 @@ impl BenchComparison {
 
 /// Today's UTC date as `YYYYMMDD`, for the `BENCH_<date>.json` filename.
 pub fn utc_date_stamp() -> String {
+    // simlint: allow(D002, reason = "date stamp for the report filename; not simulation time")
     let secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -142,6 +143,7 @@ pub fn bench_report(cfg: &SuiteConfig, result: &SuiteResult) -> String {
         "bench_report needs a suite run with collect_metrics set"
     );
     let (y, m, d) = {
+        // simlint: allow(D002, reason = "generated_at stamp in the cesrm-bench/1 header; not simulation time")
         let secs = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map_or(0, |dur| dur.as_secs());

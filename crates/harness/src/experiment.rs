@@ -200,7 +200,7 @@ pub fn run_trace_instrumented(
     if cfg.lossy_recovery {
         sim.set_loss(Box::new(ProbabilisticLoss::new(
             TraceLoss::new(plan),
-            rates.clone(),
+            rates,
         )));
     } else {
         sim.set_loss(Box::new(TraceLoss::new(plan)));

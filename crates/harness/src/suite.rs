@@ -281,6 +281,7 @@ struct RunOutput {
 
 impl RunJob {
     fn execute(&self) -> RunOutput {
+        // simlint: allow(D002, reason = "per-run wall-clock timing for --timings; never feeds simulation state")
         let started = Instant::now();
         let (trace, truth) = self.spec.generate_with_truth(self.seed);
         let trace_stats = matches!(self.protocol, Protocol::Srm)
@@ -423,6 +424,7 @@ pub fn run_suites(cfg: &SuiteConfig, seeds: &[u64]) -> Vec<SuiteResult> {
         cfg.scale > 0.0 && cfg.scale <= 1.0,
         "scale must lie in (0, 1]"
     );
+    // simlint: allow(D002, reason = "suite wall-clock for the bench report; results are simulation-time only")
     let started = Instant::now();
     let per_seed: Vec<Vec<RunJob>> = seeds.iter().map(|&s| suite_jobs(cfg, s)).collect();
     let stride = per_seed.first().map_or(0, Vec::len);
@@ -513,7 +515,7 @@ mod tests {
         cfg.traces = Some(vec![4]);
         let batch = run_suites(&cfg, &[1, 2]);
         assert_eq!(batch.len(), 2);
-        let mut solo = cfg.clone();
+        let mut solo = cfg;
         solo.seed = 2;
         let alone = run_suite(&solo);
         assert_eq!(

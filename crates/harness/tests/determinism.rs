@@ -90,7 +90,7 @@ fn event_capture_never_perturbs_measurements() {
         "tracing must not change what is measured"
     );
 
-    let serial = run_suite(&capturing.clone().with_jobs(1));
+    let serial = run_suite(&capturing.with_jobs(1));
     assert_eq!(
         format!("{:?}", serial.events),
         format!("{:?}", on.events),

@@ -1,4 +1,4 @@
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use metrics::SharedRecoveryLog;
 use netsim::{
@@ -45,7 +45,7 @@ pub struct LmsSource {
     period: SimDuration,
     start_at: SimTime,
     sent: u64,
-    timers: HashMap<TimerToken, SourceTimer>,
+    timers: BTreeMap<TimerToken, SourceTimer>,
     trace: obs::TraceHandle,
     metrics_replies_sent: obs::Counter,
 }
@@ -73,7 +73,7 @@ impl LmsSource {
             period,
             start_at,
             sent: 0,
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             trace: obs::TraceHandle::off(),
             metrics_replies_sent: obs::Counter::off(),
         }
@@ -188,10 +188,10 @@ pub struct LmsReceiver {
     cfg: LmsConfig,
     table: ReplierTable,
     log: SharedRecoveryLog,
-    received: HashSet<u64>,
+    received: BTreeSet<u64>,
     highest: Option<u64>,
-    losses: HashMap<u64, LmsLoss>,
-    timers: HashMap<TimerToken, u64>,
+    losses: BTreeMap<u64, LmsLoss>,
+    timers: BTreeMap<TimerToken, u64>,
     trace: obs::TraceHandle,
     metrics_replies_sent: obs::Counter,
 }
@@ -213,10 +213,10 @@ impl LmsReceiver {
             cfg,
             table,
             log,
-            received: HashSet::new(),
+            received: BTreeSet::new(),
             highest: None,
-            losses: HashMap::new(),
-            timers: HashMap::new(),
+            losses: BTreeMap::new(),
+            timers: BTreeMap::new(),
             trace: obs::TraceHandle::off(),
             metrics_replies_sent: obs::Counter::off(),
         }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use topology::{LinkId, MulticastTree, NodeId};
 
@@ -30,7 +30,7 @@ pub struct Attributor<'t> {
     /// 0 and 1 so every observed pattern has a positive-probability
     /// explanation even under imperfect rate estimates.
     rates: Vec<f64>,
-    cache: HashMap<u64, Attribution>,
+    cache: BTreeMap<u64, Attribution>,
 }
 
 /// Intermediate per-subtree solution.
@@ -67,7 +67,7 @@ impl<'t> Attributor<'t> {
         Attributor {
             tree,
             rates,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -214,7 +214,7 @@ mod tests {
     /// probability of each *antichain* combination producing the pattern.
     fn brute_force(tree: &MulticastTree, rates: &[f64], pattern: &[NodeId]) -> (f64, f64) {
         let links: Vec<LinkId> = tree.links().collect();
-        let lost: std::collections::HashSet<NodeId> = pattern.iter().copied().collect();
+        let lost: std::collections::BTreeSet<NodeId> = pattern.iter().copied().collect();
         let mut total = 0.0;
         let mut best = 0.0;
         for mask in 0..(1u32 << links.len()) {
@@ -234,7 +234,7 @@ mod tests {
                 continue;
             }
             // Pattern produced: receiver lost iff below some chosen link.
-            let produced: std::collections::HashSet<NodeId> = tree
+            let produced: std::collections::BTreeSet<NodeId> = tree
                 .receivers()
                 .iter()
                 .copied()

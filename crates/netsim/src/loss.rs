@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -37,7 +37,7 @@ impl LossProcess for NoLoss {
 /// the paper's main lossless-recovery experiments.
 #[derive(Clone, Debug, Default)]
 pub struct TraceLoss {
-    drops: HashSet<(LinkId, SeqNo)>,
+    drops: BTreeSet<(LinkId, SeqNo)>,
 }
 
 impl TraceLoss {

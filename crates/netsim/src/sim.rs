@@ -1,5 +1,5 @@
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -175,7 +175,7 @@ pub struct Simulator {
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
     next_timer: u64,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     /// `link_free[i][dir]` is when the link into node `i` becomes free in
     /// direction `dir` (0 = up, 1 = down).
     link_free: Vec<[SimTime; 2]>,
@@ -203,7 +203,7 @@ impl Simulator {
             queue: BinaryHeap::new(),
             next_seq: 0,
             next_timer: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             link_free: vec![[SimTime::ZERO; 2]; n],
             link_delay_override: vec![None; n],
             agents: (0..n).map(|_| None).collect(),
@@ -399,7 +399,7 @@ impl Simulator {
                 turning_point,
             } => {
                 self.metrics.events_hop.inc();
-                self.hop(at, from, packet, mode, turning_point);
+                self.hop(at, from, &packet, mode, turning_point);
             }
         }
     }
@@ -600,33 +600,33 @@ impl Simulator {
         &mut self,
         at: NodeId,
         from: NodeId,
-        packet: Rc<Packet>,
+        packet: &Rc<Packet>,
         mode: PropMode,
         turning_point: Option<NodeId>,
     ) {
         match mode {
             PropMode::Flood => {
-                self.deliver(at, from, &packet, turning_point);
-                self.fan_out(at, Some(from), &packet, PropMode::Flood, turning_point);
+                self.deliver(at, from, packet, turning_point);
+                self.fan_out(at, Some(from), packet, PropMode::Flood, turning_point);
             }
             PropMode::FloodDown => {
-                self.deliver(at, from, &packet, turning_point);
-                self.flood_down(at, &packet, turning_point);
+                self.deliver(at, from, packet, turning_point);
+                self.flood_down(at, packet, turning_point);
             }
             PropMode::Unicast(dest) => {
                 if at == dest {
-                    self.deliver(at, from, &packet, turning_point);
+                    self.deliver(at, from, packet, turning_point);
                 } else {
                     let next = self.tree.next_hop(at, dest);
-                    self.transmit(at, next, &packet, mode, turning_point);
+                    self.transmit(at, next, packet, mode, turning_point);
                 }
             }
             PropMode::SubcastLeg(via) => {
                 if at == via {
-                    self.flood_down(via, &packet, Some(via));
+                    self.flood_down(via, packet, Some(via));
                 } else {
                     let next = self.tree.next_hop(at, via);
-                    self.transmit(at, next, &packet, mode, turning_point);
+                    self.transmit(at, next, packet, mode, turning_point);
                 }
             }
         }

@@ -878,7 +878,7 @@ mod tests {
         left.merge(&c);
         let mut bc = b.clone();
         bc.merge(&c);
-        let mut right = a.clone();
+        let mut right = a;
         right.merge(&bc);
         assert_eq!(left, right);
         assert_eq!(left.counters["n"], 6);

@@ -1,0 +1,535 @@
+//! A small hand-rolled Rust lexer — just enough tokenization for the
+//! determinism rules, with **no false positives from non-code text**.
+//!
+//! The full grammar is out of scope (and `syn` is unavailable offline); what
+//! matters for linting is classifying every byte of a source file as either
+//! *code* (identifiers, punctuation, literals) or *non-code* (whitespace,
+//! comments, string contents), so that `HashMap` inside a doc comment or a
+//! raw string never triggers a finding while `HashMap` inside a macro body
+//! does. The tricky corners are handled explicitly:
+//!
+//! - nested block comments (`/* /* .. */ .. */`),
+//! - raw strings with arbitrary hash fences (`r##"…"##`), including byte
+//!   (`br#".."#`) and C (`cr#".."#`) variants,
+//! - char literals vs. lifetimes/labels (`'a'` vs. `'a` / `'outer:`),
+//! - raw identifiers (`r#unsafe` is an identifier, not the keyword),
+//! - numeric literals with underscores, floats, exponents and suffixes
+//!   (`146_097`, `1.0e-9`, `0x1fu64`) without swallowing range dots (`0..n`).
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix in the
+    /// token text so they never equal the bare keyword/name.
+    Ident,
+    /// Punctuation. Multi-character path separators (`::`) come through as a
+    /// single token; everything else is one character per token.
+    Punct,
+    /// String/char/numeric literal. The text of string-like literals is the
+    /// *delimiter-stripped raw source*, which rules must ignore (and do).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// `// …` comment (including `///` and `//!` doc comments), without the
+    /// trailing newline.
+    LineComment,
+    /// `/* … */` comment, nested comments included, delimiters included.
+    BlockComment,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for tokens that represent executable source text (anything but
+    /// comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. The lexer is total: malformed input
+/// (e.g. an unterminated string) never panics, it degrades to consuming the
+/// rest of the file as the current token.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+    src: std::marker::PhantomData<&'s str>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            toks: Vec::new(),
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.quote(line),
+                'r' | 'b' | 'c' if self.string_prefix().is_some() => {
+                    let (skip, raw) = self.string_prefix().expect("guard checked");
+                    for _ in 0..skip {
+                        self.bump();
+                    }
+                    if raw {
+                        self.raw_string(line);
+                    } else {
+                        match self.peek(0) {
+                            Some('"') => self.string(line),
+                            Some('\'') => self.quote(line),
+                            _ => unreachable!("string_prefix guarantees a quote"),
+                        }
+                    }
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier: keep the `r#` so `r#unsafe` != `unsafe`.
+                    let mut text = String::from("r#");
+                    self.bump();
+                    self.bump();
+                    self.ident_tail(&mut text);
+                    self.push(TokKind::Ident, text, line);
+                }
+                c if is_ident_start(c) => {
+                    let mut text = String::new();
+                    self.ident_tail(&mut text);
+                    self.push(TokKind::Ident, text, line);
+                }
+                c if c.is_ascii_digit() => self.number(line),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".into(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// If the cursor sits on a string-literal prefix (`r"`, `r#"`, `b"`,
+    /// `br##"`, `c"`, `cr#"`, `b'`, …) returns `(chars_in_prefix, is_raw)`.
+    fn string_prefix(&self) -> Option<(usize, bool)> {
+        let c0 = self.peek(0)?;
+        // Longest prefixes first: br / cr with optional hashes.
+        let (raw_at, len) = match (c0, self.peek(1)) {
+            ('b' | 'c', Some('r')) => (2, 2),
+            ('r', _) => (1, 1),
+            ('b', Some('"')) => return Some((1, false)),
+            ('b', Some('\'')) => return Some((1, false)),
+            ('c', Some('"')) => return Some((1, false)),
+            _ => return None,
+        };
+        // Raw variant: skip hashes after the `r` and require a quote.
+        let mut i = raw_at;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        if self.peek(i) == Some('"') {
+            Some((len, true))
+        } else {
+            None
+        }
+    }
+
+    fn ident_tail(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// A `"…"` string (cursor on the opening quote); escapes respected.
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push('\\');
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// A `r#"…"#`-style raw string (cursor on the first `#` or the quote).
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A closing quote must be followed by exactly `hashes` '#'s.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    break 'scan;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// A `'` at the cursor: either a char literal (`'a'`, `'\n'`) or a
+    /// lifetime/label (`'a`, `'static`). Disambiguation: a backslash or a
+    /// closing quote right after the next char means char literal.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(c) => after == Some('\''),
+            Some(_) => true, // e.g. '+' — only valid as a char literal
+            None => true,
+        };
+        if is_char {
+            self.bump(); // opening quote
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    self.bump();
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    self.bump();
+                    break;
+                } else {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+            self.push(TokKind::Literal, text, line);
+        } else {
+            self.bump(); // the quote
+            let mut text = String::from("'");
+            self.ident_tail(&mut text);
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    /// A numeric literal. Greedy over `[0-9a-zA-Z_]` (covers `0x…`, suffixes
+    /// like `u64`), a fraction only when `.` is followed by a digit (so
+    /// `0..n` and `1.max(2)` survive), and exponent signs (`1.0e-9`).
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        self.number_part(&mut text);
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            self.number_part(&mut text);
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn number_part(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+                // Exponent sign: `e`/`E` directly followed by `+`/`-` digit.
+                if (c == 'e' || c == 'E')
+                    && self.peek(0).is_some_and(|s| s == '+' || s == '-')
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    let sign = self.bump().expect("peeked");
+                    text.push(sign);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn plain_tokens_with_lines() {
+        let toks = lex("use std::collections::HashMap;\nlet x = 1;");
+        let map = toks
+            .iter()
+            .find(|t| t.text == "HashMap")
+            .expect("HashMap lexed");
+        assert_eq!(map.kind, TokKind::Ident);
+        assert_eq!(map.line, 1);
+        let x = toks.iter().find(|t| t.text == "x").expect("x lexed");
+        assert_eq!(x.line, 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Punct && t.text == "::"));
+    }
+
+    #[test]
+    fn line_and_doc_comments_are_not_code() {
+        let toks = lex("/// HashMap in docs\n//! and here\n// plain\nfn f() {}");
+        let comment_texts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::LineComment)
+            .collect();
+        assert_eq!(comment_texts.len(), 3);
+        assert!(idents("/// HashMap\nfn f() {}")
+            .iter()
+            .all(|i| i != "HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* Instant::now() */ still comment */ fn f() {}";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(!idents(src).contains(&"Instant".to_string()));
+        assert!(idents(src).contains(&"f".to_string()));
+        // Line counting continues through multi-line block comments.
+        let toks = lex("/* a\nb\nc */ fn g() {}");
+        let g = toks.iter().find(|t| t.text == "g").expect("g lexed");
+        assert_eq!(g.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "HashMap::new() and unsafe { }";"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        // Escaped quotes do not terminate the string early.
+        let src = r#"let s = "a \" unsafe \" b"; let t = 1;"#;
+        assert!(!idents(src).contains(&"unsafe".to_string()));
+        assert!(idents(src).contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let src = r###"let s = r#"HashMap "quoted" unsafe"#; let after = 2;"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        // Double fence containing a single-fenced terminator.
+        let src = "let s = r##\"inner \"# fake end\"##; let tail = 3;";
+        assert!(idents(src).contains(&"tail".to_string()));
+        assert!(!idents(src).contains(&"fake".to_string()));
+        // Byte and C raw strings.
+        for src in [
+            "let b = br#\"thread_rng\"#; let z = 1;",
+            "let c = cr#\"thread_rng\"#; let z = 1;",
+            "let b = b\"thread_rng\"; let z = 1;",
+        ] {
+            assert!(!idents(src).contains(&"thread_rng".to_string()), "{src}");
+            assert!(idents(src).contains(&"z".to_string()), "{src}");
+        }
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "x"));
+        // Escaped quote char and unicode escape.
+        let toks = lex(r"let q = '\''; let u = '\u{1F600}'; 'label: loop {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'label"));
+        // `'_'` is a char literal, `&'_ T` is a lifetime.
+        let toks = lex("let c = '_'; fn f(x: &'_ u8) {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "_"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'_"));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_match_keywords() {
+        let ids = idents("let r#unsafe = 1; let plain = r#match;");
+        assert!(ids.contains(&"r#unsafe".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..n { let x = 146_097; let f = 1.0e-9; let m = 2.max(3); }";
+        let toks = lex(src);
+        assert!(idents(src).contains(&"max".to_string()));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "1.0e-9"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "146_097"));
+        // `0..n`: the 0 stays a bare literal, both dots survive as puncts.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "0"));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.text == "." && t.kind == TokKind::Punct)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn cfg_attr_and_macro_bodies_lex_as_code() {
+        let src = r#"
+            #[cfg_attr(test, allow(dead_code))]
+            macro_rules! state {
+                () => { std::collections::HashMap::new() };
+            }
+        "#;
+        let ids = idents(src);
+        // Attribute arguments are ordinary tokens…
+        assert!(ids.contains(&"cfg_attr".to_string()));
+        // …and macro bodies are NOT hidden: a HashMap expansion template in a
+        // state crate is a real violation.
+        assert!(ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_panic() {
+        for src in ["/* never closed", "\"never closed", "r#\"never closed", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! `simlint` — the workspace's determinism & protocol-invariant static
+//! analysis pass.
+//!
+//! The whole reproduction rests on bit-exact determinism: a run must be a
+//! pure function of *(topology, trace, seed)*. That contract is easy to
+//! state and easy to break — one iteration over a `HashMap`, one
+//! `Instant::now()` in a simulation path, one `thread_rng()` — and the
+//! Table-1 reenactments, the slot-indexed parallel merge, trace capture,
+//! and the `cesrm-bench/1` baseline gate all silently rot. `simlint`
+//! enforces the contract mechanically.
+//!
+//! It is deliberately **dependency-free** (the workspace builds offline, so
+//! no `syn`/`serde`): a small hand-rolled [lexer] classifies every
+//! byte as code or non-code, and five [rules] (`D001`–`D005`) run
+//! over the token stream. See `docs/LINTS.md` for the rule catalogue,
+//! suppression syntax, and the baseline workflow.
+//!
+//! ```text
+//! cargo run --release -p simlint            # human diagnostics
+//! cargo run --release -p simlint -- --json  # machine-readable report
+//! ```
+//!
+//! The binary exits `0` when no *new* (non-baselined) findings exist, `1`
+//! on new findings, `2` on usage or I/O errors.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use config::{Baseline, Config, ConfigError};
+pub use lexer::{lex, Tok, TokKind};
+pub use report::{render_human, render_json};
+pub use rules::{check_file, crate_of, Finding, RuleId};
+pub use scan::{scan_workspace, ScanReport};

@@ -1,0 +1,122 @@
+//! The `simlint` CLI. See the crate docs and `docs/LINTS.md`.
+//!
+//! ```text
+//! simlint [--root DIR] [--config FILE] [--baseline FILE] [--json]
+//!         [--write-baseline]
+//! ```
+//!
+//! Defaults: `--root .`, `--config <root>/simlint.toml`, baseline from the
+//! config's `baseline` key (scans with an empty baseline when absent).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{render_human, render_json, scan_workspace, Baseline, Config};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = it.next().ok_or("--root requires a path")?.into(),
+            "--config" => args.config = Some(it.next().ok_or("--config requires a path")?.into()),
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline requires a path")?.into());
+            }
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: simlint [--root DIR] [--config FILE] [--baseline FILE] \
+                            [--json] [--write-baseline]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("simlint.toml"));
+    let config = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else if args.config.is_some() {
+        return Err(format!("config not found: {}", config_path.display()));
+    } else {
+        Config::default()
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .or_else(|| config.baseline.as_ref().map(|b| args.root.join(b)));
+    let baseline = match &baseline_path {
+        Some(p) if p.exists() => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?
+        }
+        // A missing baseline file is an error only when it was named
+        // explicitly and we are going to *read* it; --write-baseline is
+        // how the file comes to exist in the first place.
+        Some(p) if args.baseline.is_some() && !args.write_baseline => {
+            return Err(format!("baseline not found: {}", p.display()));
+        }
+        _ => Baseline::default(),
+    };
+
+    let report = scan_workspace(&args.root, &config, &baseline)?;
+
+    if args.write_baseline {
+        let path = baseline_path.ok_or(
+            "--write-baseline needs a baseline path (--baseline or the config's `baseline` key)",
+        )?;
+        std::fs::write(&path, Baseline::render(&report.counts()))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "simlint: wrote {} entries to {}",
+            report.counts().len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+
+    if args.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    Ok(!report.failed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Human-readable and `--json` machine-readable report rendering.
+//!
+//! The JSON schema is versioned as `simlint/1` and hand-rolled (the
+//! workspace is offline; no serde). Shape:
+//!
+//! ```json
+//! {
+//!   "schema": "simlint/1",
+//!   "files_scanned": 123,
+//!   "new": [{"rule": "D001", "file": "crates/…", "line": 45, "message": "…"}],
+//!   "baselined": [ …same shape… ],
+//!   "stale_baseline": [{"rule": "D001", "file": "crates/…", "count": 2}],
+//!   "ok": true
+//! }
+//! ```
+
+use crate::rules::Finding;
+use crate::scan::ScanReport;
+
+/// Renders the human-readable report (one `file:line:` diagnostic per
+/// finding, then a summary line).
+pub fn render_human(report: &ScanReport) -> String {
+    let mut out = String::new();
+    for f in &report.new {
+        out.push_str(&format!("{f}\n"));
+    }
+    if !report.baselined.is_empty() {
+        out.push_str(&format!(
+            "note: {} grandfathered finding(s) absorbed by the baseline\n",
+            report.baselined.len()
+        ));
+    }
+    for (rule, file, count) in &report.stale_baseline {
+        out.push_str(&format!(
+            "note: stale baseline entry {rule} {file} ({count} unmatched) — shrink the baseline\n"
+        ));
+    }
+    out.push_str(&format!(
+        "simlint: {} file(s) scanned, {} new finding(s), {} baselined — {}\n",
+        report.files_scanned,
+        report.new.len(),
+        report.baselined.len(),
+        if report.failed() { "FAIL" } else { "ok" }
+    ));
+    out
+}
+
+/// Renders the `simlint/1` JSON report.
+pub fn render_json(report: &ScanReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"simlint/1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"new\": ");
+    render_findings(&mut out, &report.new);
+    out.push_str(",\n  \"baselined\": ");
+    render_findings(&mut out, &report.baselined);
+    out.push_str(",\n  \"stale_baseline\": [");
+    for (i, (rule, file, count)) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"rule\": \"{rule}\", \"file\": \"{}\", \"count\": {count}}}",
+            escape(file)
+        ));
+    }
+    out.push_str(&format!(
+        "],\n  \"ok\": {}\n}}\n",
+        if report.failed() { "false" } else { "true" }
+    ));
+    out
+}
+
+fn render_findings(out: &mut String, findings: &[Finding]) {
+    if findings.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            f.rule,
+            escape(&f.file),
+            f.line,
+            escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn sample() -> ScanReport {
+        ScanReport {
+            new: vec![Finding {
+                file: "crates/srm/src/core.rs".into(),
+                line: 45,
+                rule: RuleId::D001,
+                message: "a \"quoted\" message".into(),
+            }],
+            baselined: vec![],
+            stale_baseline: vec![(RuleId::D002, "crates/x.rs".into(), 2)],
+            files_scanned: 7,
+        }
+    }
+
+    #[test]
+    fn human_report_has_span_and_verdict() {
+        let text = render_human(&sample());
+        assert!(text.contains("crates/srm/src/core.rs:45: D001"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("stale baseline entry D002"));
+        let ok = render_human(&ScanReport::default());
+        assert!(ok.contains("— ok"));
+    }
+
+    #[test]
+    fn json_report_is_escaped_and_versioned() {
+        let text = render_json(&sample());
+        assert!(text.contains("\"schema\": \"simlint/1\""));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\"ok\": false"));
+        assert!(text.contains("\"line\": 45"));
+        assert!(render_json(&ScanReport::default()).contains("\"ok\": true"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Workspace walking: find every `.rs` file, lex it, run the rules, and
+//! split the findings against the baseline.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Baseline, Config};
+use crate::lexer;
+use crate::rules::{check_file, Finding, RuleId};
+
+/// The outcome of a full scan, split against the baseline.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ScanReport {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by a baseline entry (grandfathered).
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer match anything; they should be
+    /// deleted so the baseline only ever shrinks.
+    pub stale_baseline: Vec<(RuleId, String, usize)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// `true` when the scan should fail the build.
+    pub fn failed(&self) -> bool {
+        !self.new.is_empty()
+    }
+
+    /// All findings (new + baselined), sorted, for `--write-baseline`.
+    pub fn counts(&self) -> BTreeMap<(RuleId, String), usize> {
+        let mut counts = BTreeMap::new();
+        for f in self.new.iter().chain(&self.baselined) {
+            *counts.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+/// Scans every `.rs` file under `root` (skipping `target`, `.git`, hidden
+/// directories, and the config's `skip` prefixes) and applies the baseline.
+///
+/// Paths in findings are `root`-relative with `/` separators, so reports
+/// are machine-stable across checkouts.
+pub fn scan_workspace(
+    root: &Path,
+    config: &Config,
+    baseline: &Baseline,
+) -> Result<ScanReport, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+
+    let mut all = Vec::new();
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {}: {e}", rel.display()))?;
+        let rel_str = rel_to_slash(rel);
+        all.extend(check_file(&rel_str, &lexer::lex(&text), config));
+    }
+    all.sort();
+
+    // Split against the baseline: the first `count` findings per
+    // (rule, file) — in line order — are grandfathered, the rest are new.
+    let mut budget: BTreeMap<(RuleId, String), usize> = baseline.entries.clone();
+    let mut report = ScanReport {
+        files_scanned: files.len(),
+        ..ScanReport::default()
+    };
+    for f in all {
+        match budget.get_mut(&(f.rule, f.file.clone())) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                report.baselined.push(f);
+            }
+            _ => report.new.push(f),
+        }
+    }
+    for ((rule, file), left) in budget {
+        if left > 0 {
+            report.stale_baseline.push((rule, file, left));
+        }
+    }
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files as root-relative paths.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if config.is_skipped(&rel_to_slash(rel)) {
+            continue;
+        }
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, config, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+fn rel_to_slash(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_absorbs_then_flags_excess() {
+        let dir = std::env::temp_dir().join("simlint-scan-test");
+        let src_dir = dir.join("crates/srm/src");
+        fs::create_dir_all(&src_dir).expect("mkdir");
+        fs::write(
+            src_dir.join("lib.rs"),
+            "use std::collections::HashMap;\nuse std::collections::HashSet;\n",
+        )
+        .expect("write");
+        let config = Config {
+            state_crates: vec!["srm".into()],
+            ..Config::default()
+        };
+        // Empty baseline: both findings are new.
+        let report = scan_workspace(&dir, &config, &Baseline::default()).expect("scan succeeds");
+        assert_eq!(report.new.len(), 2);
+        assert!(report.failed());
+        // Baseline of 1: the first (by line) is grandfathered.
+        let baseline = Baseline::parse("D001 crates/srm/src/lib.rs 1\n").expect("valid baseline");
+        let report = scan_workspace(&dir, &config, &baseline).expect("scan succeeds");
+        assert_eq!(report.baselined.len(), 1);
+        assert_eq!(report.new.len(), 1);
+        assert_eq!(report.new[0].line, 2);
+        // Over-provisioned baseline: surplus is reported stale.
+        let baseline = Baseline::parse("D001 crates/srm/src/lib.rs 5\n").expect("valid baseline");
+        let report = scan_workspace(&dir, &config, &baseline).expect("scan succeeds");
+        assert!(!report.failed());
+        assert_eq!(
+            report.stale_baseline,
+            vec![(RuleId::D001, "crates/srm/src/lib.rs".to_string(), 3)]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,6 @@
+//! Config-allowlisted file: the D002 hit below must not be reported when
+//! the test config lists this path under `[allow] D002`.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,20 @@
+//! Wall-clock fixture (D002): one firing per clock type, one suppressed.
+
+pub fn instant_violation() -> std::time::Instant {
+    std::time::Instant::now() //~ D002
+}
+
+pub fn instant_suppressed() -> std::time::Instant {
+    // simlint: allow(D002, reason = "fixture: bench-side timing, never feeds simulation state")
+    std::time::Instant::now()
+}
+
+pub fn system_violation() -> u64 {
+    let _t = std::time::SystemTime::now(); //~ D002
+    0
+}
+
+pub fn not_a_call(deadline: std::time::Instant) -> std::time::Instant {
+    // A bare type mention (storing a deadline) is not a wall-clock read.
+    deadline
+}

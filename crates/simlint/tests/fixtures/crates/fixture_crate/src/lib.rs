@@ -1,0 +1,51 @@
+//! Lint-rule fixture: every rule fires at least once and is suppressed at
+//! least once. Tilde marker comments (slash-slash-tilde followed by rule
+//! ids) drive the exact-match assertions in `crates/simlint/tests/fixture.rs`.
+//! This tree is scanned, never compiled
+//! (the `skip` entry in the workspace `simlint.toml` keeps it out of real
+//! runs).
+
+use std::collections::HashMap; //~ D001
+
+pub struct State {
+    // simlint: allow(D001, reason = "bounded to 4 entries and drained in sorted order before use")
+    map: HashMap<u64, u64>,
+    set: std::collections::HashSet<u32>, //~ D001
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng(); //~ D003
+    // simlint: allow(D003, reason = "fixture: the justified-suppression form of D003")
+    let silent = rand::thread_rng();
+    0
+}
+
+pub unsafe fn danger() {} //~ D004
+
+pub fn contained() {
+    // simlint: allow(D004, reason = "fixture: the justified-suppression form of D004")
+    unsafe { core::hint::unreachable_unchecked() }
+}
+
+// Non-code mentions must stay silent: the strings and comments below name
+// every banned construct and none of them may produce a finding.
+pub fn quiet() {
+    let _doc = "HashMap and SystemTime::now() and thread_rng() in a string";
+    let _raw = r#"unsafe { HashSet::new() } and Instant::now()"#;
+    /* block comment: HashMap /* nested: unsafe */ still fine */
+}
+
+// --- D005 cases ---------------------------------------------------------
+
+// simlint: allow(D001, reason = "") //~ D005
+use std::collections::HashSet; //~ D001
+
+// simlint: allow(D002, reason = "stale: nothing below reads the clock") //~ D005
+pub fn no_clock_here() {}
+
+// simlint: bogus syntax //~ D005
+pub fn after_malformed() {}
+
+// simlint: allow(D005, reason = "kept deliberately: shows an annotated stale allow")
+// simlint: allow(D001, reason = "stale on purpose; covered by the D005 allow above")
+pub fn meta_suppressed() {}

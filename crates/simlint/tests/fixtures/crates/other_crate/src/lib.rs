@@ -1,0 +1,10 @@
+//! Not a simulation-state crate: D001 does not apply here (the other rules
+//! still do — kept clean so this file asserts pure D001 scoping).
+
+use std::collections::HashMap;
+
+pub type Cache = HashMap<u64, u64>;
+
+pub fn tooling_state() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new()
+}

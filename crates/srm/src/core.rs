@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -42,11 +42,11 @@ pub struct SrmCore {
     sent: u64,
     /// Highest sequence number known to exist, from any evidence.
     highest: Option<u64>,
-    losses: HashMap<u64, LossState>,
-    replies: HashMap<u64, ReplyState>,
-    timers: HashMap<TimerToken, TimerKind>,
-    peers: HashMap<NodeId, PeerEcho>,
-    dist: HashMap<NodeId, SimDuration>,
+    losses: BTreeMap<u64, LossState>,
+    replies: BTreeMap<u64, ReplyState>,
+    timers: BTreeMap<TimerToken, TimerKind>,
+    peers: BTreeMap<NodeId, PeerEcho>,
+    dist: BTreeMap<NodeId, SimDuration>,
     newly_detected: Vec<SeqNo>,
     default_distance_uses: u64,
     spurious_detections: u64,
@@ -110,11 +110,11 @@ impl SrmCore {
             received: ReceivedSet::new(),
             sent: 0,
             highest: None,
-            losses: HashMap::new(),
-            replies: HashMap::new(),
-            timers: HashMap::new(),
-            peers: HashMap::new(),
-            dist: HashMap::new(),
+            losses: BTreeMap::new(),
+            replies: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            peers: BTreeMap::new(),
+            dist: BTreeMap::new(),
             newly_detected: Vec::new(),
             default_distance_uses: 0,
             spurious_detections: 0,

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use topology::{MulticastTree, NodeId};
@@ -152,7 +152,7 @@ pub struct Trace {
     /// Loss sequence per receiver, in `tree.receivers()` order.
     loss: Vec<BitSeq>,
     /// Receiver node id → row index in `loss`.
-    row_of: HashMap<NodeId, usize>,
+    row_of: BTreeMap<NodeId, usize>,
 }
 
 impl Trace {

@@ -194,7 +194,7 @@ fn run_processes(
     let mut drops = LinkDrops::new(tree.len(), cfg.packets);
     let n_receivers = tree.receivers().len();
     let mut rows: Vec<BitSeq> = (0..n_receivers).map(|_| BitSeq::new(cfg.packets)).collect();
-    let row_of: std::collections::HashMap<NodeId, usize> = tree
+    let row_of: std::collections::BTreeMap<NodeId, usize> = tree
         .receivers()
         .iter()
         .enumerate()

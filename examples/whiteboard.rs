@@ -35,7 +35,7 @@ fn main() -> Result<(), topology::TreeError> {
 
     let log = RecoveryLog::shared();
     let collector = Rc::new(RefCell::new(TrafficCollector::new()));
-    let mut sim = Simulator::new(tree.clone(), NetConfig::paper_default().with_seed(2));
+    let mut sim = Simulator::new(tree, NetConfig::paper_default().with_seed(2));
     sim.set_observer(Box::new(Rc::clone(&collector)));
     // Bursty losses on the backbone link into n3 and on n6's tail link;
     // these hit every stream crossing them.
@@ -65,7 +65,7 @@ fn main() -> Result<(), topology::TreeError> {
                 }
             })
             .collect();
-        sim.attach_agent(m, Box::new(GroupMember::new(m, cfg, log.clone(), &streams)));
+        sim.attach_agent(m, Box::new(GroupMember::new(m, cfg, &log, &streams)));
     }
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
 
