@@ -256,6 +256,9 @@ impl CesrmAgent {
         ctx.unicast(tuple.replier, body);
         let me = self.core.me();
         self.metrics.expedited_requests_sent.inc();
+        // `tuple` is the pair the cache-consult stored when it emitted
+        // `cache_hit`; the cache-coherence monitor (I4, docs/MONITORS.md)
+        // flags any expedited request whose replier no prior hit named.
         self.trace
             .emit(ctx.now().as_nanos(), || obs::Event::ExpeditedRequestSent {
                 node: me.0,
@@ -359,6 +362,9 @@ impl Agent for CesrmAgent {
                         self.metrics.cache_evictions.inc();
                     }
                     let me = self.core.me();
+                    // The only cache-insertion site: every pair a later
+                    // `cache_hit` can name must have been announced here
+                    // first (I4, docs/MONITORS.md).
                     self.trace
                         .emit(ctx.now().as_nanos(), || obs::Event::CacheUpdate {
                             node: me.0,

@@ -37,6 +37,7 @@ pub const VOLATILE_FIELDS: &[&str] = &[
     "cpu_s",
     "speedup",
     "events_per_sec",
+    "monitor_overhead",
 ];
 
 /// Regression thresholds for [`compare_reports`], in percent.
@@ -57,6 +58,42 @@ impl Default for BenchThresholds {
             max_wall_pct: 50.0,
             max_throughput_pct: 30.0,
         }
+    }
+}
+
+/// Wall- and CPU-time of one suite configuration measured with invariant
+/// monitors on vs off, for the `totals.monitor_overhead` member of the
+/// bench report (satellite of the monitoring work; the monitors promise
+/// near-zero cost and this is where that promise is audited).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MonitorOverhead {
+    /// Suite wall-clock with monitors off, seconds.
+    pub wall_off_s: f64,
+    /// Suite wall-clock with monitors on, seconds.
+    pub wall_on_s: f64,
+    /// Serial-equivalent CPU time with monitors off, seconds.
+    pub cpu_off_s: f64,
+    /// Serial-equivalent CPU time with monitors on, seconds.
+    pub cpu_on_s: f64,
+}
+
+impl MonitorOverhead {
+    /// CPU-time overhead of monitoring, percent (CPU rather than wall so
+    /// the figure is stable under parallel scheduling jitter).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.cpu_off_s > 0.0 {
+            (self.cpu_on_s - self.cpu_off_s) / self.cpu_off_s * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the overhead passes the gate: within `max_pct`, or the
+    /// absolute CPU delta is under `noise_floor_s` (tiny smoke-scale
+    /// suites finish in milliseconds, where a percentage of nothing is
+    /// all timer noise).
+    pub fn within(&self, max_pct: f64, noise_floor_s: f64) -> bool {
+        self.cpu_on_s - self.cpu_off_s <= noise_floor_s || self.overhead_pct() <= max_pct
     }
 }
 
@@ -138,6 +175,21 @@ fn per_sec(events: u64, secs: f64) -> f64 {
 /// Panics if `result` carries no profiles — run the suite with
 /// [`SuiteConfig::collect_metrics`] (or [`SuiteConfig::with_metrics`]).
 pub fn bench_report(cfg: &SuiteConfig, result: &SuiteResult) -> String {
+    bench_report_with(cfg, result, None)
+}
+
+/// [`bench_report`] plus an optional monitors-on-vs-off measurement in
+/// `totals.monitor_overhead` (null when not measured; the member is
+/// always present and is volatile — two machines time differently).
+///
+/// # Panics
+///
+/// Panics if `result` carries no profiles (see [`bench_report`]).
+pub fn bench_report_with(
+    cfg: &SuiteConfig,
+    result: &SuiteResult,
+    overhead: Option<&MonitorOverhead>,
+) -> String {
     assert!(
         !result.profiles.is_empty(),
         "bench_report needs a suite run with collect_metrics set"
@@ -194,6 +246,18 @@ pub fn bench_report(cfg: &SuiteConfig, result: &SuiteResult) -> String {
         ("events", uint(events)),
         ("events_per_sec", num(per_sec(events, wall_s))),
         ("peak_queue_bytes", uint(peak_queue_bytes)),
+        (
+            "monitor_overhead",
+            overhead.map_or(JsonValue::Null, |o| {
+                obj(vec![
+                    ("wall_off_s", num(o.wall_off_s)),
+                    ("wall_on_s", num(o.wall_on_s)),
+                    ("cpu_off_s", num(o.cpu_off_s)),
+                    ("cpu_on_s", num(o.cpu_on_s)),
+                    ("overhead_pct", num(o.overhead_pct())),
+                ])
+            }),
+        ),
     ]);
 
     let counters = JsonValue::Obj(
@@ -526,6 +590,57 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("baseline schema"), "{err}");
+    }
+
+    #[test]
+    fn monitor_overhead_member_is_present_and_volatile() {
+        let (cfg, result) = profiled_result();
+        let plain = bench_report(&cfg, &result);
+        let doc = JsonValue::parse(&plain).unwrap();
+        assert_eq!(
+            doc.get("totals").unwrap().get("monitor_overhead"),
+            Some(&JsonValue::Null)
+        );
+
+        let measured = MonitorOverhead {
+            wall_off_s: 1.0,
+            wall_on_s: 1.02,
+            cpu_off_s: 4.0,
+            cpu_on_s: 4.1,
+        };
+        let with = bench_report_with(&cfg, &result, Some(&measured));
+        let doc = JsonValue::parse(&with).unwrap();
+        let o = doc.get("totals").unwrap().get("monitor_overhead").unwrap();
+        assert!((o.get("overhead_pct").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+        // The member is machine-dependent, so stripping must null it and
+        // re-align the two documents byte-for-byte.
+        assert_eq!(
+            strip_volatile(&plain).unwrap(),
+            strip_volatile(&with).unwrap()
+        );
+    }
+
+    #[test]
+    fn overhead_gate_applies_percentage_and_noise_floor() {
+        let slow = MonitorOverhead {
+            wall_off_s: 1.0,
+            wall_on_s: 1.2,
+            cpu_off_s: 10.0,
+            cpu_on_s: 12.0,
+        };
+        assert!((slow.overhead_pct() - 20.0).abs() < 1e-9);
+        assert!(!slow.within(5.0, 0.05));
+        assert!(slow.within(25.0, 0.05));
+        // A 20 ms absolute delta is under the noise floor no matter the
+        // percentage.
+        let tiny = MonitorOverhead {
+            wall_off_s: 0.01,
+            wall_on_s: 0.03,
+            cpu_off_s: 0.01,
+            cpu_on_s: 0.03,
+        };
+        assert!(tiny.overhead_pct() > 100.0);
+        assert!(tiny.within(5.0, 0.05));
     }
 
     #[test]

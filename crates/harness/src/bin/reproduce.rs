@@ -4,7 +4,9 @@
 //! cargo run --release -p harness --bin reproduce -- [--scale F] [--seed N]
 //!     [--traces 1,2,3] [--link-delay-ms MS] [--lossy-recovery]
 //!     [--jobs N] [--timings] [--seeds N] [--csv-dir DIR]
-//!     [--trace FILE] [--trace-filter seq=N|receiver=N] [--trace-slowest N]
+//!     [--trace FILE] [--trace-filter seq=N|receiver=N|ev=NAME]
+//!     [--trace-slowest N]
+//!     [--health FILE] [--monitor-overhead] [--monitor-overhead-max-pct P]
 //!     [--bench-report FILE] [--baseline FILE] [--baseline-max-wall-pct P]
 //!     [--baseline-max-throughput-pct P] [--baseline-warn-only]
 //! ```
@@ -21,15 +23,25 @@
 //! (optionally narrowed by `--trace-filter`), and prints the provenance
 //! coverage plus the `--trace-slowest` (default 10) slowest recoveries.
 //!
+//! `--health FILE` runs every reenactment under the online invariant
+//! monitors (see `docs/MONITORS.md`), writes the machine-readable
+//! `cesrm-health/1` document to `FILE`, prints the human summary, and
+//! exits with status 4 if any invariant was violated.
+//!
 //! `--bench-report FILE` self-profiles every run through the `obs` metrics
 //! registry and writes the merged `cesrm-bench/1` JSON document (see
 //! `docs/METRICS.md`). Pass `-` for `FILE` to use the canonical
 //! `BENCH_<YYYYMMDD>.json` name in the working directory. `--baseline`
 //! compares the fresh report against a previous one and exits with status
 //! 3 when wall-clock or throughput regress past the thresholds (unless
-//! `--baseline-warn-only`).
+//! `--baseline-warn-only`). `--monitor-overhead` (requires
+//! `--bench-report`) reenacts the suite a second time with the monitors
+//! toggled the other way, records the on-vs-off cost under
+//! `totals.monitor_overhead`, and exits with status 3 when the CPU-time
+//! overhead exceeds `--monitor-overhead-max-pct` (default 5; deltas under
+//! 50 ms are treated as timer noise).
 
-use harness::{bench_report, run_suite, BenchThresholds, SuiteConfig, TraceFilter};
+use harness::{bench_report_with, run_suite, BenchThresholds, SuiteConfig, TraceFilter};
 
 fn main() {
     let mut cfg = SuiteConfig::paper_default();
@@ -43,6 +55,9 @@ fn main() {
     let mut baseline_path: Option<std::path::PathBuf> = None;
     let mut thresholds = BenchThresholds::default();
     let mut baseline_warn_only = false;
+    let mut health_path: Option<std::path::PathBuf> = None;
+    let mut monitor_overhead = false;
+    let mut overhead_max_pct: f64 = 5.0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -101,7 +116,7 @@ fn main() {
             "--trace-filter" => {
                 let expr = args
                     .next()
-                    .expect("--trace-filter requires seq=N or receiver=N");
+                    .expect("--trace-filter requires seq=N, receiver=N or ev=NAME");
                 trace_filter = TraceFilter::parse(&expr).unwrap_or_else(|e| {
                     eprintln!("bad --trace-filter: {e}");
                     std::process::exit(2);
@@ -140,11 +155,28 @@ fn main() {
                     .expect("--baseline-max-throughput-pct requires a percentage");
             }
             "--baseline-warn-only" => baseline_warn_only = true,
+            "--health" => {
+                health_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--health requires an output path"),
+                ));
+                cfg.monitor = true;
+            }
+            "--monitor-overhead" => monitor_overhead = true,
+            "--monitor-overhead-max-pct" => {
+                overhead_max_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--monitor-overhead-max-pct requires a percentage");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if monitor_overhead && bench_path.is_none() {
+        eprintln!("--monitor-overhead requires --bench-report (nowhere to record it)");
+        std::process::exit(2);
     }
     eprintln!(
         "running suite: scale {:.3}, seed {}, link delay {}, lossy recovery {}, jobs {}",
@@ -201,6 +233,20 @@ fn main() {
         );
         println!("{}", harness::slowest_text(&result.events, trace_slowest));
     }
+    let mut health_violations = 0;
+    if let Some(path) = &health_path {
+        if let Err(e) = harness::write_health(path, &cfg, &result) {
+            eprintln!("failed to write health report: {e}");
+            std::process::exit(1);
+        }
+        health_violations = result.total_violations();
+        eprintln!(
+            "wrote health report ({} monitored runs) to {}",
+            result.health.len(),
+            path.display()
+        );
+        print!("{}", harness::health_text(&result));
+    }
     if let Some(dir) = csv_dir {
         match result.write_csv_files(&dir) {
             Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
@@ -210,8 +256,31 @@ fn main() {
             }
         }
     }
+    // The overhead measurement reenacts the identical suite with the
+    // monitors toggled the other way; both passes share the seed and
+    // configuration, so the only difference is the monitoring work itself.
+    let overhead = monitor_overhead.then(|| {
+        eprintln!(
+            "measuring monitor overhead: reenacting the suite with monitors {}...",
+            if cfg.monitor { "off" } else { "on" }
+        );
+        let mut alt = cfg.clone();
+        alt.monitor = !cfg.monitor;
+        let alt_result = run_suite(&alt);
+        let (on, off) = if cfg.monitor {
+            (&result.timing, &alt_result.timing)
+        } else {
+            (&alt_result.timing, &result.timing)
+        };
+        harness::MonitorOverhead {
+            wall_off_s: off.wall.as_secs_f64(),
+            wall_on_s: on.wall.as_secs_f64(),
+            cpu_off_s: off.cpu_total().as_secs_f64(),
+            cpu_on_s: on.cpu_total().as_secs_f64(),
+        }
+    });
     if let Some(path) = bench_path {
-        let report = bench_report(&cfg, &result);
+        let report = bench_report_with(&cfg, &result, overhead.as_ref());
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             if let Err(e) = std::fs::create_dir_all(parent) {
                 eprintln!("failed to create {}: {e}", parent.display());
@@ -260,6 +329,23 @@ fn main() {
         eprintln!("--baseline requires --bench-report (nothing to compare)");
         std::process::exit(2);
     }
+    if let Some(o) = &overhead {
+        println!(
+            "monitor overhead: cpu {:.3} s off vs {:.3} s on ({:+.1}%, limit +{:.1}%, \
+             50 ms noise floor)",
+            o.cpu_off_s,
+            o.cpu_on_s,
+            o.overhead_pct(),
+            overhead_max_pct
+        );
+        if !o.within(overhead_max_pct, 0.05) {
+            eprintln!(
+                "MONITOR OVERHEAD REGRESSION: {:+.1}% exceeds +{overhead_max_pct:.1}%",
+                o.overhead_pct()
+            );
+            std::process::exit(3);
+        }
+    }
     if seeds > 1 {
         let list: Vec<u64> = (0..seeds as u64)
             .map(|i| cfg.seed.wrapping_add(i))
@@ -279,5 +365,9 @@ fn main() {
             "  retransmission overhead {:.1}% ± {:.1}% of SRM",
             sweep.retransmission_pct.mean, sweep.retransmission_pct.sd
         );
+    }
+    if health_violations > 0 {
+        eprintln!("INVARIANT VIOLATIONS: {health_violations} (details in the health report)");
+        std::process::exit(4);
     }
 }

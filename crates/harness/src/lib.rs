@@ -31,10 +31,17 @@
 //! events (the `obs` crate; [`run_trace_traced`], [`SuiteConfig`]'s
 //! `capture_events`) as JSONL and prints the provenance coverage plus the
 //! slowest recoveries ([`tracing`]); schema in `docs/TRACING.md`.
+//!
+//! `--health FILE` runs every reenactment under the online invariant
+//! monitors (the `obs::monitor` module; [`SuiteConfig`]'s `monitor`),
+//! writes a machine-readable health report ([`health`], schema
+//! `cesrm-health/1` in `docs/MONITORS.md`) and exits non-zero on any
+//! invariant violation.
 
 pub mod bench_report;
 mod csv;
 mod experiment;
+pub mod health;
 mod render;
 pub mod runner;
 mod suite;
@@ -42,16 +49,17 @@ mod sweep;
 pub mod tracing;
 
 pub use bench_report::{
-    bench_report, compare_reports, strip_volatile, utc_date_stamp, BenchComparison,
-    BenchThresholds, BENCH_SCHEMA, VOLATILE_FIELDS,
+    bench_report, bench_report_with, compare_reports, strip_volatile, utc_date_stamp,
+    BenchComparison, BenchThresholds, MonitorOverhead, BENCH_SCHEMA, VOLATILE_FIELDS,
 };
 pub use experiment::{
     run_trace, run_trace_instrumented, run_trace_traced, ExperimentConfig, Protocol,
     RecoverySample, RunMetrics,
 };
+pub use health::{health_json, health_text, write_health, HEALTH_SCHEMA};
 pub use runner::{default_parallelism, resolve_jobs, run_indexed, RunTiming, SuiteTiming};
 pub use suite::{
-    run_suite, run_suites, RunEventLog, RunProfile, SuiteConfig, SuiteResult, TracePair,
+    run_suite, run_suites, RunEventLog, RunHealth, RunProfile, SuiteConfig, SuiteResult, TracePair,
 };
 pub use sweep::{seed_sweep, Stat, SweepSummary};
 pub use tracing::{coverage, slowest_text, write_jsonl, TraceCoverage, TraceFilter};

@@ -40,6 +40,14 @@ pub struct SuiteConfig {
     /// registry, so profiling is race-free under any worker count and the
     /// measured `pairs` stay byte-identical to a metrics-off run.
     pub collect_metrics: bool,
+    /// When `true`, every reenactment streams its events through an online
+    /// [`obs::MonitorSet`] checking the six protocol invariants (liveness,
+    /// orphan repairs, suppression health, cache coherence, conservation,
+    /// monotone causality; see `docs/MONITORS.md`) into
+    /// [`SuiteResult::health`]. Each run owns its monitor state, so
+    /// checking is race-free under any worker count and the measured
+    /// `pairs` stay byte-identical to a monitors-off run.
+    pub monitor: bool,
 }
 
 impl SuiteConfig {
@@ -54,6 +62,7 @@ impl SuiteConfig {
             jobs: None,
             capture_events: false,
             collect_metrics: false,
+            monitor: false,
         }
     }
 
@@ -80,6 +89,12 @@ impl SuiteConfig {
     /// Turns on per-run self-profiling (see [`SuiteResult::profiles`]).
     pub fn with_metrics(mut self) -> Self {
         self.collect_metrics = true;
+        self
+    }
+
+    /// Turns on online invariant monitoring (see [`SuiteResult::health`]).
+    pub fn with_monitor(mut self) -> Self {
+        self.monitor = true;
         self
     }
 
@@ -211,6 +226,24 @@ impl RunProfile {
     }
 }
 
+/// The invariant-monitor verdict of one (trace × protocol) reenactment:
+/// the run's [`obs::MonitorReport`] plus enough context to interpret it on
+/// its own. Everything in here is derived from simulation-time events
+/// only, so two runs of equal configuration produce byte-identical health
+/// at every worker count.
+#[derive(Clone, Debug)]
+pub struct RunHealth {
+    /// Table-1 trace number (1-based).
+    pub trace: usize,
+    /// Trace name, e.g. `"WRN950919"`.
+    pub name: &'static str,
+    /// `"SRM"` or `"CESRM"`.
+    pub protocol: &'static str,
+    /// The monitor verdict: stats, violations (with provenance timelines)
+    /// and anomalies.
+    pub report: obs::MonitorReport,
+}
+
 /// The full evaluation suite: every requested trace under SRM and CESRM.
 #[derive(Clone, Debug)]
 pub struct SuiteResult {
@@ -228,6 +261,11 @@ pub struct SuiteResult {
     /// Kept out of [`TracePair`] so profiling can never perturb the
     /// measurement comparisons.
     pub profiles: Vec<RunProfile>,
+    /// Per-run invariant-monitor verdicts, one per run in slot order (SRM
+    /// before CESRM per trace); empty unless [`SuiteConfig::monitor`] was
+    /// set. Kept out of [`TracePair`] so monitoring can never perturb the
+    /// measurement comparisons.
+    pub health: Vec<RunHealth>,
     /// Wall-clock observability of this invocation. Timing never feeds
     /// back into the measurements: two runs of equal configuration have
     /// equal `pairs` (and CSV output) regardless of `jobs`.
@@ -251,6 +289,18 @@ impl SuiteResult {
     pub fn total_events(&self) -> u64 {
         self.profiles.iter().map(|p| p.events_processed).sum()
     }
+
+    /// Total invariant violations across every monitored run (the full
+    /// count, not just the bounded violation lists).
+    pub fn total_violations(&self) -> u64 {
+        self.health.iter().map(|h| h.report.stats.violations).sum()
+    }
+
+    /// Total anomalies (repair storms, latency outliers) across every
+    /// monitored run.
+    pub fn total_anomalies(&self) -> u64 {
+        self.health.iter().map(|h| h.report.stats.anomalies).sum()
+    }
 }
 
 /// A fully owned description of one (trace × protocol × seed) reenactment;
@@ -263,6 +313,7 @@ struct RunJob {
     experiment: ExperimentConfig,
     capture: bool,
     profile: bool,
+    monitor: bool,
 }
 
 /// What one job sends back through the pool.
@@ -276,6 +327,8 @@ struct RunOutput {
     events: Option<RunEventLog>,
     /// The run's self-profile, when the suite asked for one.
     profile: Option<RunProfile>,
+    /// The run's invariant-monitor verdict, when the suite asked for one.
+    health: Option<RunHealth>,
     timing: RunTiming,
 }
 
@@ -291,12 +344,18 @@ impl RunJob {
             Protocol::Cesrm(_) => "CESRM",
         };
         // Each capturing run owns its sink (the handle is `!Send` by
-        // design), so worker threads never share event state.
-        let handle = if self.capture {
+        // design), so worker threads never share event state. Monitors
+        // ride the same handle: they observe each record at emit time and
+        // hold all their state per-run, so checking composes with capture
+        // and stays race-free at any worker count.
+        let mut handle = if self.capture {
             obs::TraceHandle::memory()
         } else {
             obs::TraceHandle::off()
         };
+        if self.monitor {
+            handle = handle.with_monitors(obs::MonitorSet::standard());
+        }
         // Likewise for profiling: each run builds its registry on its own
         // worker thread (the handle is `!Send`), snapshots it, and ships
         // only the `Send` snapshot back through the pool.
@@ -324,6 +383,12 @@ impl RunJob {
                 records: handle.drain(),
             }
         });
+        let health = handle.finish_monitors().map(|report| RunHealth {
+            trace: self.spec.number,
+            name: self.spec.name,
+            protocol: protocol_name,
+            report,
+        });
         let wall = started.elapsed();
         let profile = self.profile.then(|| RunProfile {
             trace: self.spec.number,
@@ -339,6 +404,7 @@ impl RunJob {
             trace_stats,
             events,
             profile,
+            health,
             timing: RunTiming {
                 trace: self.spec.number,
                 name: self.spec.name,
@@ -362,6 +428,7 @@ fn suite_jobs(cfg: &SuiteConfig, seed: u64) -> Vec<RunJob> {
                 experiment: cfg.experiment,
                 capture: cfg.capture_events,
                 profile: cfg.collect_metrics,
+                monitor: cfg.monitor,
             })
         })
         .collect()
@@ -377,6 +444,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
     let mut runs = Vec::with_capacity(outputs.len());
     let mut events = Vec::new();
     let mut profiles = Vec::new();
+    let mut health = Vec::new();
     let mut it = outputs.into_iter();
     while let (Some(mut srm), Some(mut cesrm)) = (it.next(), it.next()) {
         runs.push(srm.timing.clone());
@@ -385,6 +453,8 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         events.extend(cesrm.events.take());
         profiles.extend(srm.profile.take());
         profiles.extend(cesrm.profile.take());
+        health.extend(srm.health.take());
+        health.extend(cesrm.health.take());
         pairs.push(TracePair {
             spec: srm.spec,
             trace_stats: srm
@@ -399,6 +469,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         pairs,
         events,
         profiles,
+        health,
         timing: SuiteTiming {
             jobs: 0,
             wall: Duration::ZERO,

@@ -26,15 +26,21 @@ use crate::suite::RunEventLog;
 /// `seq=N` keeps events about sequence number `N` (events without a
 /// sequence, e.g. session drops, are filtered out); `receiver=N` keeps
 /// events attributed to node `N` (for drop events the node is the link's
-/// downstream endpoint). The default keeps everything.
+/// downstream endpoint); `ev=NAME` keeps one event kind by its stable wire
+/// name (validated against [`obs::Event::NAMES`] at parse time, so a typo
+/// fails fast instead of silently matching nothing). The default keeps
+/// everything.
 #[derive(Clone, Copy, Default, PartialEq, Debug)]
 pub struct TraceFilter {
     seq: Option<u64>,
     receiver: Option<u32>,
+    event: Option<&'static str>,
 }
 
 impl TraceFilter {
-    /// Parses a `key=value` filter expression (`seq=7`, `receiver=12`).
+    /// Parses a `key=value` filter expression (`seq=7`, `receiver=12`,
+    /// `ev=loss_detected`). An unknown `ev=` name is an error that lists
+    /// the full valid vocabulary.
     pub fn parse(s: &str) -> Result<TraceFilter, String> {
         let (key, value) = s
             .split_once('=')
@@ -55,7 +61,21 @@ impl TraceFilter {
                         .map_err(|_| format!("receiver wants a node id, got {value:?}"))?,
                 );
             }
-            other => return Err(format!("unknown filter key {other:?} (seq|receiver)")),
+            "ev" => {
+                f.event = Some(
+                    obs::Event::NAMES
+                        .iter()
+                        .find(|&&name| name == value)
+                        .copied()
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown event name {value:?}; valid names: {}",
+                                obs::Event::NAMES.join(", ")
+                            )
+                        })?,
+                );
+            }
+            other => return Err(format!("unknown filter key {other:?} (seq|receiver|ev)")),
         }
         Ok(f)
     }
@@ -64,6 +84,7 @@ impl TraceFilter {
     pub fn matches(&self, record: &Record) -> bool {
         self.seq.is_none_or(|want| record.event.seq() == Some(want))
             && self.receiver.is_none_or(|want| record.event.node() == want)
+            && self.event.is_none_or(|want| record.event.name() == want)
     }
 }
 
@@ -117,6 +138,13 @@ impl TraceCoverage {
         } else {
             self.complete as f64 / self.losses as f64
         }
+    }
+
+    /// Detected losses whose timeline never reaches a `recovered` event —
+    /// exactly the losses the liveness monitor (invariant I1 in
+    /// `docs/MONITORS.md`) would flag.
+    pub fn unrecovered(&self) -> usize {
+        self.losses - self.complete
     }
 }
 
@@ -236,6 +264,46 @@ mod tests {
         assert!(TraceFilter::parse("color=red").is_err());
         assert!(TraceFilter::parse("nonsense").is_err());
         assert!(TraceFilter::default().matches(&rec(0, Event::LossDetected { node: 1, seq: 1 })));
+    }
+
+    #[test]
+    fn event_filter_matches_by_wire_name() {
+        let f = TraceFilter::parse("ev=loss_detected").unwrap();
+        assert!(f.matches(&rec(0, Event::LossDetected { node: 2, seq: 7 })));
+        assert!(!f.matches(&rec(
+            0,
+            Event::RecoveryCompleted {
+                node: 2,
+                seq: 7,
+                expedited: true,
+            }
+        )));
+    }
+
+    #[test]
+    fn event_filter_rejects_unknown_names_listing_vocabulary() {
+        let err = TraceFilter::parse("ev=los_detected").unwrap_err();
+        assert!(err.contains("unknown event name"), "error was: {err}");
+        // The error must teach the full vocabulary, not just complain.
+        for name in obs::Event::NAMES {
+            assert!(err.contains(name), "error missing {name:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn every_wire_name_parses_as_an_event_filter() {
+        for name in obs::Event::NAMES {
+            assert!(
+                TraceFilter::parse(&format!("ev={name}")).is_ok(),
+                "catalogue name {name:?} rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_key_error_mentions_ev() {
+        let err = TraceFilter::parse("color=red").unwrap_err();
+        assert!(err.contains("seq|receiver|ev"), "error was: {err}");
     }
 
     #[test]

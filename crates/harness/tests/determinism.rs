@@ -143,6 +143,31 @@ fn metrics_collection_never_perturbs_measurements() {
     std::fs::remove_dir_all(&dir_on).ok();
 }
 
+/// Invariant monitoring is the third pure observer (after capture and
+/// metrics): monitors on vs off leaves every measurement byte-identical,
+/// and the monitor verdicts themselves are worker-count-invariant.
+#[test]
+fn monitoring_never_perturbs_measurements() {
+    let off = run_suite(&scaled_config().with_jobs(4));
+    let on = run_suite(&scaled_config().with_monitor().with_jobs(4));
+
+    assert!(off.health.is_empty());
+    assert_eq!(on.health.len(), 2 * on.pairs.len());
+    assert_eq!(on.total_violations(), 0);
+    assert_eq!(
+        format!("{:?}", off.pairs),
+        format!("{:?}", on.pairs),
+        "monitoring must not change what is measured"
+    );
+
+    let serial = run_suite(&scaled_config().with_monitor().with_jobs(1));
+    assert_eq!(
+        format!("{:?}", serial.health),
+        format!("{:?}", on.health),
+        "monitor verdicts must not depend on the worker count"
+    );
+}
+
 /// The suite-wide registry merge is associative and slot-ordered, so the
 /// merged snapshot — and with it the whole volatile-stripped BENCH
 /// document — is identical at every worker count.

@@ -138,6 +138,10 @@ impl Agent for LmsSource {
                 );
                 let (me, seq, req) = (self.me, id.seq, *requestor);
                 self.metrics_replies_sent.inc();
+                // `requestor` must come from the received request, never be
+                // synthesized: the orphan-repair monitor (I2,
+                // docs/MONITORS.md) requires the named node to have a prior
+                // `loss_detected`.
                 self.trace
                     .emit(ctx.now().as_nanos(), || obs::Event::ReplySent {
                         node: me.0,

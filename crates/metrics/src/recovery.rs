@@ -109,6 +109,10 @@ impl RecoveryLog {
 
     /// Records that `receiver` detected the loss of `id` at `now`. Repeat
     /// detections keep the earliest timestamp.
+    ///
+    /// The detection-before-request/recovery ordering this log enforces
+    /// (the panics below) is what the orphan-repair and causality monitors
+    /// (I2/I6, `docs/MONITORS.md`) check end-to-end on the event stream.
     pub fn on_detect(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
         let mut fresh = false;
         self.records.entry((receiver, id)).or_insert_with(|| {

@@ -647,7 +647,10 @@ impl Simulator {
             // Recovery-class deliveries only: original-data and session
             // deliveries are O(receivers × packets) noise for provenance
             // purposes, while the recovery completion itself is emitted by
-            // the metrics layer as a `recovered` record.
+            // the metrics layer as a `recovered` record. `origin` must be
+            // the node the matching `sent` record named — the conservation
+            // monitor (I5, docs/MONITORS.md) joins deliveries to sends on
+            // (origin, class, seq).
             let (class, seq) = trace_class(packet);
             if !matches!(class, obs::PacketClass::Data | obs::PacketClass::Session) {
                 self.trace

@@ -4,8 +4,9 @@
 ///
 /// Mirrors `netsim::PacketBody` without depending on it: `obs` sits below
 /// `netsim` in the dependency graph, so the simulator maps its own body
-/// enum onto this one at the emit site.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// enum onto this one at the emit site. `Ord` follows declaration order so
+/// the class can key the ordered maps the invariant monitors use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PacketClass {
     /// Original multicast payload from the source (`DATA` in the paper).
     Data,
@@ -238,6 +239,30 @@ pub enum Event {
 }
 
 impl Event {
+    /// Every stable wire name, in declaration order — the authoritative
+    /// vocabulary for anything that accepts an event name from the user
+    /// (e.g. `reproduce --trace-filter ev=...` validates against this and
+    /// lists it on a typo).
+    pub const NAMES: [&'static str; 17] = [
+        "sent",
+        "dropped",
+        "delivered",
+        "loss_detected",
+        "req_scheduled",
+        "req_suppressed",
+        "req_sent",
+        "rep_scheduled",
+        "rep_suppressed",
+        "rep_sent",
+        "xreq_sent",
+        "xrep_sent",
+        "cache_hit",
+        "cache_miss",
+        "cache_update",
+        "recovered",
+        "spurious",
+    ];
+
     /// Stable lowercase wire name used as the `"ev"` field in JSONL.
     pub fn name(&self) -> &'static str {
         match self {
@@ -343,6 +368,98 @@ mod tests {
         };
         assert_eq!(ev.seq(), None);
         assert_eq!(ev.name(), "sent");
+    }
+
+    #[test]
+    fn name_catalogue_covers_every_variant() {
+        // One instance of each variant, in declaration order; keeps NAMES
+        // honest when the vocabulary grows.
+        let all = [
+            Event::PacketSent {
+                node: 0,
+                class: PacketClass::Data,
+                seq: None,
+                cast: Cast::Multicast,
+            },
+            Event::PacketDropped {
+                link: 0,
+                class: PacketClass::Data,
+                seq: None,
+            },
+            Event::PacketDelivered {
+                node: 0,
+                class: PacketClass::Reply,
+                seq: None,
+                origin: 0,
+            },
+            Event::LossDetected { node: 0, seq: 0 },
+            Event::RequestScheduled {
+                node: 0,
+                seq: 0,
+                round: 0,
+                delay_ns: 0,
+            },
+            Event::RequestSuppressed {
+                node: 0,
+                seq: 0,
+                by: 0,
+            },
+            Event::RequestSent {
+                node: 0,
+                seq: 0,
+                round: 0,
+            },
+            Event::ReplyScheduled {
+                node: 0,
+                seq: 0,
+                requestor: 0,
+            },
+            Event::ReplySuppressed {
+                node: 0,
+                seq: 0,
+                by: 0,
+            },
+            Event::ReplySent {
+                node: 0,
+                seq: 0,
+                requestor: 0,
+                expedited: false,
+            },
+            Event::ExpeditedRequestSent {
+                node: 0,
+                seq: 0,
+                replier: 0,
+            },
+            Event::ExpeditedReplySent {
+                node: 0,
+                seq: 0,
+                requestor: 0,
+                subcast: false,
+            },
+            Event::CacheHit {
+                node: 0,
+                seq: 0,
+                requestor: 0,
+                replier: 0,
+            },
+            Event::CacheMiss { node: 0, seq: 0 },
+            Event::CacheUpdate {
+                node: 0,
+                seq: 0,
+                requestor: 0,
+                replier: 0,
+            },
+            Event::RecoveryCompleted {
+                node: 0,
+                seq: 0,
+                expedited: false,
+            },
+            Event::SpuriousLoss { node: 0, seq: 0 },
+        ];
+        assert_eq!(all.len(), Event::NAMES.len());
+        for (ev, &name) in all.iter().zip(Event::NAMES.iter()) {
+            assert_eq!(ev.name(), name);
+        }
     }
 
     #[test]

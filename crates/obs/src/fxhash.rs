@@ -1,0 +1,95 @@
+//! Deterministic fixed-seed hashing for the observability hot paths.
+//!
+//! The invariant monitors and the per-loss timeline builder touch a map
+//! on (nearly) every emitted event; `BTreeMap` tree walks there were the
+//! bulk of the monitors' measured CPU overhead (docs/MONITORS.md tracks
+//! the <5% budget). These maps are lookup-only — never iterated except
+//! behind an explicit sort — so hash ordering is unobservable, and the
+//! multiply-xor seed is a constant, so nothing about a run depends on
+//! per-instance hash state (unlike `std`'s default `RandomState`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (FxHash-style) with an all-zeros initial state.
+#[derive(Clone, Copy, Default, Debug)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub(crate) type FxSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        let mut a = FxMap::default();
+        a.insert((3u32, 7u64), 1);
+        let mut b = FxMap::default();
+        b.insert((3u32, 7u64), 1);
+        assert_eq!(a.get(&(3, 7)), b.get(&(3, 7)));
+
+        let mut s = FxSet::default();
+        s.insert(42u64);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn write_covers_partial_chunks() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let long = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        assert_ne!(long, h.finish());
+    }
+}

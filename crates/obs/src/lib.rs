@@ -27,7 +27,14 @@
 //!   identical to untraced builds.
 //! * [`provenance`] — the reducer that joins raw events into per-loss
 //!   [`RecoveryTimeline`]s (loss → detection → first request → repair),
-//!   classified [`RecoveryPath::Expedited`] vs [`RecoveryPath::Fallback`].
+//!   classified [`RecoveryPath::Expedited`] vs [`RecoveryPath::Fallback`];
+//!   available in streaming form as [`TimelineBuilder`].
+//! * [`monitor`] — online invariant monitors ([`MonitorSet`]): six
+//!   streaming checkers of the paper's protocol invariants (liveness,
+//!   orphan repairs, suppression health, cache coherence, conservation,
+//!   monotone causality) plus repair-storm and latency-outlier anomaly
+//!   detection, fed at emit time via [`TraceHandle::with_monitors`] and
+//!   reported as a [`MonitorReport`] (catalogue in `docs/MONITORS.md`).
 //! * [`registry`] — the *runtime* half of observability: a per-simulation
 //!   metrics registry ([`MetricsHandle`]) of counters, high-water gauges,
 //!   log-scale histograms and a deterministic quantile sketch, snapshotted
@@ -62,7 +69,9 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fxhash;
 mod json;
+pub mod monitor;
 pub mod provenance;
 pub mod registry;
 mod sink;
@@ -70,7 +79,11 @@ pub mod value;
 
 pub use event::{Cast, Event, PacketClass, Record};
 pub use json::to_json_line;
-pub use provenance::{RecoveryPath, RecoveryTimeline};
+pub use monitor::{
+    Anomaly, AnomalyKind, Invariant, MonitorConfig, MonitorReport, MonitorSet, MonitorStats,
+    Violation,
+};
+pub use provenance::{RecoveryPath, RecoveryTimeline, TimelineBuilder};
 pub use registry::{
     Counter, Gauge, GaugeSnapshot, Histogram, LogHistogram, MetricsHandle, MetricsSnapshot,
     QuantileSketch, Sketch,

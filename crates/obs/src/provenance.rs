@@ -9,9 +9,8 @@
 //! CESRM's expedited path and [`RecoveryPath::Fallback`] when plain SRM
 //! suppression-based recovery won.
 
-use std::collections::BTreeMap;
-
 use crate::event::{Event, Record};
+use crate::fxhash::FxMap;
 
 /// How a detected loss was ultimately resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +105,167 @@ impl RecoveryTimeline {
     }
 }
 
+/// Streaming form of [`reduce`]: feed records one at a time and extract
+/// the timelines at the end.
+///
+/// [`crate::monitor::MonitorSet`] keeps one of these so every invariant
+/// violation can carry the in-progress per-loss timeline at the moment it
+/// fired, and [`reduce`] is now a thin wrapper over it — both paths share
+/// one state machine, so batch and streaming reduction can never drift.
+///
+/// A timeline is created for **every** `loss_detected` event and is never
+/// dropped: a loss with no terminal `recovered`/`spurious` event is
+/// reported with [`RecoveryPath::Unrecovered`] (the liveness monitor I1
+/// depends on this).
+#[derive(Clone, Debug, Default)]
+pub struct TimelineBuilder {
+    // Hash-keyed (deterministic fixed-seed hasher) because `observe` runs
+    // on the monitors' hot path; ordering is reimposed by the explicit
+    // sort in `finish`, so hash layout never reaches an observer.
+    timelines: FxMap<(u32, u64), RecoveryTimeline>,
+    // Earliest drop of each data seq, attributable to every receiver that
+    // later reports the loss.
+    data_drops: FxMap<u64, (u64, u32)>,
+}
+
+impl TimelineBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a `loss_detected` event for `(receiver, seq)` was observed.
+    pub fn contains(&self, receiver: u32, seq: u64) -> bool {
+        self.timelines.contains_key(&(receiver, seq))
+    }
+
+    /// The in-progress timeline for `(receiver, seq)`, with the earliest
+    /// data drop seen so far attached. `None` before the loss is detected.
+    pub fn snapshot(&self, receiver: u32, seq: u64) -> Option<RecoveryTimeline> {
+        self.timelines.get(&(receiver, seq)).map(|tl| {
+            let mut tl = tl.clone();
+            tl.dropped = self.data_drops.get(&tl.seq).copied();
+            tl
+        })
+    }
+
+    /// Folds one record into the per-loss state.
+    ///
+    /// Delegates to the fine-grained `note_*` methods below, which
+    /// callers that have already destructured the event (the invariant
+    /// monitors' hot path) invoke directly to skip a second match over
+    /// the whole 17-variant enum.
+    pub fn observe(&mut self, record: &Record) {
+        match record.event {
+            Event::PacketDropped {
+                link,
+                class: crate::event::PacketClass::Data,
+                seq: Some(seq),
+            } => self.note_data_drop(seq, record.t_ns, link),
+            Event::LossDetected { node, seq } => self.note_detect(node, seq, record.t_ns),
+            Event::RequestSent { node, seq, .. } => self.note_request(node, seq, record.t_ns),
+            Event::ExpeditedRequestSent { node, seq, .. } => {
+                self.note_expedited_request(node, seq, record.t_ns);
+            }
+            Event::RecoveryCompleted {
+                node,
+                seq,
+                expedited,
+            } => self.note_recovered(node, seq, record.t_ns, expedited),
+            Event::SpuriousLoss { node, seq } => self.note_spurious(node, seq, record.t_ns),
+            _ => {}
+        }
+    }
+
+    /// A `packet_dropped` of data `seq` at `t_ns` on `link`; the earliest
+    /// drop wins.
+    pub fn note_data_drop(&mut self, seq: u64, t_ns: u64, link: u32) {
+        let entry = self.data_drops.entry(seq).or_insert((t_ns, link));
+        if t_ns < entry.0 {
+            *entry = (t_ns, link);
+        }
+    }
+
+    /// A `loss_detected` at `node` for `seq`; the earliest detection wins.
+    pub fn note_detect(&mut self, node: u32, seq: u64, t_ns: u64) {
+        self.timelines
+            .entry((node, seq))
+            .or_insert_with(|| RecoveryTimeline {
+                receiver: node,
+                seq,
+                dropped: None,
+                detected_ns: t_ns,
+                first_request_ns: None,
+                expedited_request_ns: None,
+                recovered_ns: None,
+                requests: 0,
+                path: RecoveryPath::Unrecovered,
+            });
+    }
+
+    /// A multicast `req_sent` by `node` for `seq`; ignored before the
+    /// loss is detected.
+    pub fn note_request(&mut self, node: u32, seq: u64, t_ns: u64) {
+        if let Some(tl) = self.timelines.get_mut(&(node, seq)) {
+            tl.requests += 1;
+            if tl.first_request_ns.is_none_or(|t| t_ns < t) {
+                tl.first_request_ns = Some(t_ns);
+            }
+        }
+    }
+
+    /// An `exp_req_sent` by `node` for `seq`; ignored before the loss is
+    /// detected.
+    pub fn note_expedited_request(&mut self, node: u32, seq: u64, t_ns: u64) {
+        if let Some(tl) = self.timelines.get_mut(&(node, seq)) {
+            if tl.expedited_request_ns.is_none_or(|t| t_ns < t) {
+                tl.expedited_request_ns = Some(t_ns);
+            }
+        }
+    }
+
+    /// A `recovered` at `node` for `seq`; the first terminal event wins.
+    pub fn note_recovered(&mut self, node: u32, seq: u64, t_ns: u64, expedited: bool) {
+        if let Some(tl) = self.timelines.get_mut(&(node, seq)) {
+            if tl.recovered_ns.is_none() {
+                tl.recovered_ns = Some(t_ns);
+                tl.path = if expedited {
+                    RecoveryPath::Expedited
+                } else {
+                    RecoveryPath::Fallback
+                };
+            }
+        }
+    }
+
+    /// A `spurious` at `node` for `seq`; the first terminal event wins.
+    pub fn note_spurious(&mut self, node: u32, seq: u64, t_ns: u64) {
+        if let Some(tl) = self.timelines.get_mut(&(node, seq)) {
+            if tl.recovered_ns.is_none() {
+                tl.recovered_ns = Some(t_ns);
+                tl.path = RecoveryPath::Spurious;
+            }
+        }
+    }
+
+    /// Consumes the builder: every detected loss becomes one timeline
+    /// (explicitly [`RecoveryPath::Unrecovered`] when no terminal event
+    /// arrived), sorted by `(receiver, seq)`, with the earliest data drop
+    /// attached.
+    pub fn finish(self) -> Vec<RecoveryTimeline> {
+        let data_drops = self.data_drops;
+        let mut out: Vec<RecoveryTimeline> = self.timelines.into_values().collect();
+        // The map is hash-ordered; the sort makes the output a pure
+        // function of the stream again (ascending (receiver, seq), as
+        // documented).
+        out.sort_unstable_by_key(|tl| (tl.receiver, tl.seq));
+        for tl in &mut out {
+            tl.dropped = data_drops.get(&tl.seq).copied();
+        }
+        out
+    }
+}
+
 /// Join a time-ordered record stream into per-loss timelines.
 ///
 /// Timelines are created only for `(receiver, seq)` pairs that produced a
@@ -113,86 +273,11 @@ impl RecoveryTimeline {
 /// need not be globally sorted, but milestones honour "first event wins"
 /// using each record's timestamp.
 pub fn reduce(records: &[Record]) -> Vec<RecoveryTimeline> {
-    let mut timelines: BTreeMap<(u32, u64), RecoveryTimeline> = BTreeMap::new();
-    // Earliest drop of each data seq, attributable to every receiver that
-    // later reports the loss.
-    let mut data_drops: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
-
+    let mut builder = TimelineBuilder::new();
     for record in records {
-        match record.event {
-            Event::PacketDropped {
-                link,
-                class: crate::event::PacketClass::Data,
-                seq: Some(seq),
-            } => {
-                let entry = data_drops.entry(seq).or_insert((record.t_ns, link));
-                if record.t_ns < entry.0 {
-                    *entry = (record.t_ns, link);
-                }
-            }
-            Event::LossDetected { node, seq } => {
-                timelines
-                    .entry((node, seq))
-                    .or_insert_with(|| RecoveryTimeline {
-                        receiver: node,
-                        seq,
-                        dropped: None,
-                        detected_ns: record.t_ns,
-                        first_request_ns: None,
-                        expedited_request_ns: None,
-                        recovered_ns: None,
-                        requests: 0,
-                        path: RecoveryPath::Unrecovered,
-                    });
-            }
-            Event::RequestSent { node, seq, .. } => {
-                if let Some(tl) = timelines.get_mut(&(node, seq)) {
-                    tl.requests += 1;
-                    if tl.first_request_ns.is_none_or(|t| record.t_ns < t) {
-                        tl.first_request_ns = Some(record.t_ns);
-                    }
-                }
-            }
-            Event::ExpeditedRequestSent { node, seq, .. } => {
-                if let Some(tl) = timelines.get_mut(&(node, seq)) {
-                    if tl.expedited_request_ns.is_none_or(|t| record.t_ns < t) {
-                        tl.expedited_request_ns = Some(record.t_ns);
-                    }
-                }
-            }
-            Event::RecoveryCompleted {
-                node,
-                seq,
-                expedited,
-            } => {
-                if let Some(tl) = timelines.get_mut(&(node, seq)) {
-                    if tl.recovered_ns.is_none() {
-                        tl.recovered_ns = Some(record.t_ns);
-                        tl.path = if expedited {
-                            RecoveryPath::Expedited
-                        } else {
-                            RecoveryPath::Fallback
-                        };
-                    }
-                }
-            }
-            Event::SpuriousLoss { node, seq } => {
-                if let Some(tl) = timelines.get_mut(&(node, seq)) {
-                    if tl.recovered_ns.is_none() {
-                        tl.recovered_ns = Some(record.t_ns);
-                        tl.path = RecoveryPath::Spurious;
-                    }
-                }
-            }
-            _ => {}
-        }
+        builder.observe(record);
     }
-
-    let mut out: Vec<RecoveryTimeline> = timelines.into_values().collect();
-    for tl in &mut out {
-        tl.dropped = data_drops.get(&tl.seq).copied();
-    }
-    out
+    builder.finish()
 }
 
 /// The `n` slowest *completed* recoveries (expedited or fallback), by

@@ -8,6 +8,7 @@ use std::rc::Rc;
 
 use crate::event::{Event, Record};
 use crate::json::to_json_line;
+use crate::monitor::{MonitorReport, MonitorSet};
 
 /// Destination for trace [`Record`]s.
 ///
@@ -172,14 +173,24 @@ impl<W: Write> EventSink for JsonlSink<W> {
 /// parallel suite runner constructs its own handle on its own worker
 /// thread, so enabling tracing can never introduce cross-run sharing or
 /// data races.
+///
+/// Besides a sink, a handle can carry a [`MonitorSet`]
+/// ([`TraceHandle::with_monitors`]): every emitted record is fed to the
+/// monitors *before* the sink, in emit order, with no second
+/// instrumentation protocol. A monitor-only handle (no sink) still counts
+/// as enabled — call sites that gate optional emissions on
+/// [`TraceHandle::is_enabled`] must produce events for monitors too.
 #[derive(Clone, Default)]
-pub struct TraceHandle(Option<Rc<RefCell<Box<dyn EventSink>>>>);
+pub struct TraceHandle {
+    sink: Option<Rc<RefCell<Box<dyn EventSink>>>>,
+    monitors: Option<Rc<RefCell<MonitorSet>>>,
+}
 
 impl std::fmt::Debug for TraceHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Stable output regardless of sink contents so that `Debug`-based
         // determinism comparisons are unaffected by tracing state.
-        f.write_str(if self.0.is_some() {
+        f.write_str(if self.is_enabled() {
             "TraceHandle(on)"
         } else {
             "TraceHandle(off)"
@@ -190,12 +201,15 @@ impl std::fmt::Debug for TraceHandle {
 impl TraceHandle {
     /// The disabled handle: emits are discarded without building events.
     pub fn off() -> Self {
-        Self(None)
+        Self::default()
     }
 
     /// Wrap an arbitrary sink.
     pub fn new(sink: Box<dyn EventSink>) -> Self {
-        Self(Some(Rc::new(RefCell::new(sink))))
+        Self {
+            sink: Some(Rc::new(RefCell::new(sink))),
+            monitors: None,
+        }
     }
 
     /// Enabled handle over an unbounded [`MemorySink`].
@@ -214,26 +228,48 @@ impl TraceHandle {
         Ok(Self::new(Box::new(JsonlSink::create(path)?)))
     }
 
-    /// True when events are being captured.
+    /// Attaches an invariant [`MonitorSet`]: every subsequent emit feeds
+    /// the monitors (before the sink, when one is present). Works on any
+    /// handle, including [`TraceHandle::off`] — a monitor-only handle
+    /// evaluates event closures but stores nothing.
+    pub fn with_monitors(mut self, monitors: MonitorSet) -> Self {
+        self.monitors = Some(Rc::new(RefCell::new(monitors)));
+        self
+    }
+
+    /// True when events are being captured or monitored (the closure in
+    /// [`TraceHandle::emit`] will be evaluated).
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.sink.is_some() || self.monitors.is_some()
+    }
+
+    /// True when a [`MonitorSet`] is attached.
+    pub fn has_monitors(&self) -> bool {
+        self.monitors.is_some()
     }
 
     /// Record the event built by `f` at simulation time `t_ns`.
     ///
     /// The closure is only evaluated when the handle is enabled, keeping
-    /// disabled call sites to a branch on an `Option`.
+    /// disabled call sites to a branch on two `Option`s.
     #[inline]
     pub fn emit<F: FnOnce() -> Event>(&self, t_ns: u64, f: F) {
-        if let Some(sink) = &self.0 {
-            sink.borrow_mut().record(Record { t_ns, event: f() });
+        if self.sink.is_none() && self.monitors.is_none() {
+            return;
+        }
+        let record = Record { t_ns, event: f() };
+        if let Some(monitors) = &self.monitors {
+            monitors.borrow_mut().observe(&record);
+        }
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(record);
         }
     }
 
     /// Drain buffered records from the underlying sink (empty when off or
     /// when the sink streams instead of buffering).
     pub fn drain(&self) -> Vec<Record> {
-        match &self.0 {
+        match &self.sink {
             Some(sink) => sink.borrow_mut().drain(),
             None => Vec::new(),
         }
@@ -241,9 +277,18 @@ impl TraceHandle {
 
     /// Flush the underlying sink, if any.
     pub fn flush(&self) {
-        if let Some(sink) = &self.0 {
+        if let Some(sink) = &self.sink {
             sink.borrow_mut().flush();
         }
+    }
+
+    /// Takes the attached monitors out of the handle (and every clone of
+    /// it) and closes them into a [`MonitorReport`]; `None` when the
+    /// handle never had monitors. Call once, after the run completes.
+    pub fn finish_monitors(&self) -> Option<MonitorReport> {
+        self.monitors
+            .as_ref()
+            .map(|m| std::mem::take(&mut *m.borrow_mut()).finish())
     }
 }
 
@@ -327,5 +372,45 @@ mod tests {
     fn debug_is_stable() {
         assert_eq!(format!("{:?}", TraceHandle::off()), "TraceHandle(off)");
         assert_eq!(format!("{:?}", TraceHandle::memory()), "TraceHandle(on)");
+        // Monitor-only handles render as "on" too: the closure IS evaluated.
+        assert_eq!(
+            format!(
+                "{:?}",
+                TraceHandle::off().with_monitors(MonitorSet::standard())
+            ),
+            "TraceHandle(on)"
+        );
+    }
+
+    #[test]
+    fn monitor_only_handle_is_enabled_and_feeds_monitors() {
+        let h = TraceHandle::off().with_monitors(MonitorSet::standard());
+        assert!(h.is_enabled(), "netsim gates delivery events on this");
+        assert!(h.has_monitors());
+        h.emit(1_000, || Event::LossDetected { node: 2, seq: 7 });
+        assert!(h.drain().is_empty(), "no sink: nothing is stored");
+        let report = h.finish_monitors().expect("monitors were attached");
+        assert_eq!(report.stats.events, 1);
+        assert_eq!(report.stats.losses, 1);
+        // The undetected loss is a liveness violation with its timeline.
+        assert_eq!(report.violations.len(), 1);
+        assert!(TraceHandle::off().finish_monitors().is_none());
+    }
+
+    #[test]
+    fn monitors_and_sink_both_see_every_emit_through_clones() {
+        let h = TraceHandle::memory().with_monitors(MonitorSet::standard());
+        let h2 = h.clone();
+        h.emit(1_000, || Event::LossDetected { node: 2, seq: 7 });
+        h2.emit(2_000, || Event::RecoveryCompleted {
+            node: 2,
+            seq: 7,
+            expedited: false,
+        });
+        assert_eq!(h.drain().len(), 2);
+        let report = h2.finish_monitors().unwrap();
+        assert_eq!(report.stats.events, 2);
+        assert!(report.is_healthy(), "{:?}", report.violations);
+        assert_eq!(report.stats.recovered, 1);
     }
 }

@@ -472,6 +472,10 @@ impl SrmCore {
             // (back-off abstinence, §2.1).
             if state.timer.is_some() && ctx.now() >= state.backoff_abstinence_until {
                 self.metrics.request_suppressed.inc();
+                // Suppress → immediately re-arm, one atomic path: the
+                // suppression-health monitor (I3, docs/MONITORS.md) treats
+                // a `req_sent` after `req_suppressed` with no intervening
+                // `req_scheduled` as a violation.
                 self.trace
                     .emit(ctx.now().as_nanos(), || obs::Event::RequestSuppressed {
                         node: self.me.0,
