@@ -130,6 +130,68 @@ fn bench_sim_flood(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine internals: the calendar queue against the legacy heap it
+/// replaced (same flood workload, only the scheduler differs) and the
+/// packet arena's alloc/retain/release churn.
+fn bench_engine(c: &mut Criterion) {
+    use netsim::{PacketArena, SchedulerKind};
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let tree = random_tree(&mut rng, TreeShape::new(15, 7));
+    let mut group = c.benchmark_group("micro/engine");
+    for (name, kind) in [
+        ("flood_1k_calendar", SchedulerKind::Calendar),
+        ("flood_1k_legacy_heap", SchedulerKind::LegacyHeap),
+    ] {
+        let tree = tree.clone();
+        group.bench_function(name, move |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(tree.clone(), NetConfig::default());
+                sim.set_scheduler(kind);
+                sim.attach_agent(NodeId::ROOT, Box::new(Flooder(1_000)));
+                sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+                std::hint::black_box(sim.events_processed())
+            });
+        });
+    }
+    group.bench_function("arena_churn_256", |b| {
+        let mut arena = PacketArena::new();
+        b.iter(|| {
+            // 256 packets each fanned out to 4 hops, released in arrival
+            // order — the lifecycle `transmit` drives, compressed.
+            let mut handles = Vec::with_capacity(256);
+            for i in 0..256u64 {
+                let h = arena.alloc();
+                arena.fill(
+                    h,
+                    Packet {
+                        origin: NodeId::ROOT,
+                        cast: netsim::CastClass::Multicast,
+                        body: PacketBody::Data {
+                            id: PacketId {
+                                source: NodeId::ROOT,
+                                seq: SeqNo(i),
+                            },
+                        },
+                    },
+                );
+                for _ in 0..4 {
+                    arena.retain(h);
+                }
+                arena.release(h);
+                handles.push(h);
+            }
+            for h in handles {
+                for _ in 0..4 {
+                    arena.release(h);
+                }
+            }
+            std::hint::black_box(arena.capacity())
+        });
+    });
+    group.finish();
+}
+
 fn bench_registry(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/registry");
     let handle = obs::MetricsHandle::new();
@@ -181,6 +243,7 @@ criterion_group!(
     bench_gilbert,
     bench_estimator,
     bench_sim_flood,
+    bench_engine,
     bench_registry
 );
 criterion_main!(benches);

@@ -113,15 +113,15 @@ fn agent(sim: &Simulator) -> &CesrmAgent {
 fn observed_reply_populates_cache_only_for_suffered_losses() {
     let mut f = fixture(CesrmConfig::paper_default());
     // We receive 0 and 2, losing 1.
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // A reply for packet 2 (which we *received*) must be discarded (§3.1).
     f.sim
-        .inject_packet(ME, NodeId(1), reply(2, PEER, SOURCE, 40, 40), None);
+        .inject_packet(ME, NodeId(1), &reply(2, PEER, SOURCE, 40, 40), None);
     assert!(agent(&f.sim).cache().is_empty());
     // A reply for packet 1 (which we lost) is cached.
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, PEER, SOURCE, 40, 40), None);
+        .inject_packet(ME, NodeId(1), &reply(1, PEER, SOURCE, 40, 40), None);
     let cache = agent(&f.sim).cache();
     assert_eq!(cache.len(), 1);
     assert_eq!(cache.most_recent().unwrap().pair(), (PEER, SOURCE));
@@ -131,20 +131,20 @@ fn observed_reply_populates_cache_only_for_suffered_losses() {
 #[test]
 fn cache_keeps_optimal_pair_per_packet() {
     let mut f = fixture(CesrmConfig::paper_default());
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // First reply: delay 40 + 2·40 = 120 ms.
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, PEER, SOURCE, 40, 40), None);
+        .inject_packet(ME, NodeId(1), &reply(1, PEER, SOURCE, 40, 40), None);
     // A duplicate reply with a better pair: 20 + 2·10 = 40 ms.
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, ME, PEER, 20, 10), None);
+        .inject_packet(ME, NodeId(1), &reply(1, ME, PEER, 20, 10), None);
     let t = *agent(&f.sim).cache().most_recent().unwrap();
     assert_eq!(t.pair(), (ME, PEER));
     assert_eq!(t.recovery_delay(), SimDuration::from_millis(40));
     // A worse pair afterwards is ignored.
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, PEER, SOURCE, 100, 100), None);
+        .inject_packet(ME, NodeId(1), &reply(1, PEER, SOURCE, 100, 100), None);
     assert_eq!(
         agent(&f.sim).cache().most_recent().unwrap().pair(),
         (ME, PEER)
@@ -154,13 +154,13 @@ fn cache_keeps_optimal_pair_per_packet() {
 #[test]
 fn expeditious_requestor_unicasts_to_cached_replier() {
     let mut f = fixture(CesrmConfig::paper_default());
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // Teach the cache that WE are the requestor and PEER the replier.
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, ME, PEER, 20, 10), None);
+        .inject_packet(ME, NodeId(1), &reply(1, ME, PEER, 20, 10), None);
     // New loss: 3 (detected via 4).
-    f.sim.inject_packet(ME, NodeId(1), data(4), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(4), None);
     // REORDER-DELAY is 0: the expedited request goes out at once; run a
     // little longer so its hops propagate to the replier.
     let sent_at = f.sim.now();
@@ -187,12 +187,12 @@ fn expeditious_requestor_unicasts_to_cached_replier() {
 #[test]
 fn no_expedition_when_cached_requestor_is_someone_else() {
     let mut f = fixture(CesrmConfig::paper_default());
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // Cached pair names PEER as the requestor.
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, PEER, SOURCE, 40, 40), None);
-    f.sim.inject_packet(ME, NodeId(1), data(4), None);
+        .inject_packet(ME, NodeId(1), &reply(1, PEER, SOURCE, 40, 40), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(4), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(10));
     let wire = f.wire.borrow();
@@ -208,10 +208,10 @@ fn no_expedition_when_cached_requestor_is_someone_else() {
 #[test]
 fn expeditious_replier_answers_immediately_when_it_holds_the_packet() {
     let mut f = fixture(CesrmConfig::paper_default());
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
     let before = f.sim.now();
     f.sim
-        .inject_packet(ME, NodeId(1), expedited_request(0, PEER), None);
+        .inject_packet(ME, NodeId(1), &expedited_request(0, PEER), None);
     let wire = f.wire.borrow();
     let sent: Vec<_> = wire
         .sends
@@ -231,7 +231,7 @@ fn expeditious_replier_stays_silent_when_it_shares_the_loss() {
     let mut f = fixture(CesrmConfig::paper_default());
     // We never received packet 0.
     f.sim
-        .inject_packet(ME, NodeId(1), expedited_request(0, PEER), None);
+        .inject_packet(ME, NodeId(1), &expedited_request(0, PEER), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(500));
     let wire = f.wire.borrow();
@@ -247,7 +247,7 @@ fn expeditious_replier_stays_silent_when_it_shares_the_loss() {
 #[test]
 fn expedited_reply_blocked_while_normal_reply_pending() {
     let mut f = fixture(CesrmConfig::paper_default());
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
     // A normal (multicast) request schedules our reply...
     let foreign_request = Packet {
         origin: PEER,
@@ -258,11 +258,11 @@ fn expedited_reply_blocked_while_normal_reply_pending() {
             dist_req_src: SimDuration::from_millis(40),
         },
     };
-    f.sim.inject_packet(ME, NodeId(1), foreign_request, None);
+    f.sim.inject_packet(ME, NodeId(1), &foreign_request, None);
     // ...so an expedited request for the same packet is discarded (§3.2:
     // "a reply for packet i is neither scheduled nor pending").
     f.sim
-        .inject_packet(ME, NodeId(1), expedited_request(0, PEER), None);
+        .inject_packet(ME, NodeId(1), &expedited_request(0, PEER), None);
     let wire = f.wire.borrow();
     assert!(
         !wire
@@ -280,16 +280,16 @@ fn reorder_delay_cancels_on_late_arrival() {
         ..CesrmConfig::paper_default()
     };
     let mut f = fixture(cfg);
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     f.sim
-        .inject_packet(ME, NodeId(1), reply(1, ME, PEER, 20, 10), None);
+        .inject_packet(ME, NodeId(1), &reply(1, ME, PEER, 20, 10), None);
     // Loss of 3 detected via 4; the expedited request is armed for +100 ms.
-    f.sim.inject_packet(ME, NodeId(1), data(4), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(4), None);
     // The "lost" packet shows up 50 ms later (it was just reordered).
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(50));
-    f.sim.inject_packet(ME, NodeId(1), data(3), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(3), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(500));
     let wire = f.wire.borrow();

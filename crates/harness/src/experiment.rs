@@ -7,7 +7,9 @@ use metrics::{
     per_receiver_reports, OverheadBreakdown, PacketKind, ReceiverReport, RecoveryLog,
     TrafficCollector,
 };
-use netsim::{NetConfig, ProbabilisticLoss, SeqNo, SimDuration, SimTime, Simulator, TraceLoss};
+use netsim::{
+    NetConfig, ProbabilisticLoss, SchedulerKind, SeqNo, SimDuration, SimTime, Simulator, TraceLoss,
+};
 use srm::{SourceConfig, SrmAgent, SrmParams};
 use topology::NodeId;
 use traces::Trace;
@@ -36,6 +38,11 @@ pub struct ExperimentConfig {
     /// loss rates — the paper's side experiment from \[10\]; the main
     /// results use lossless recovery.
     pub lossy_recovery: bool,
+    /// Event-queue implementation to drive the simulation with. Both
+    /// schedulers pop in the same total order, so every derived artifact is
+    /// byte-identical across the choice (the determinism suite asserts
+    /// this); the calendar queue is simply faster.
+    pub scheduler: SchedulerKind,
 }
 
 impl ExperimentConfig {
@@ -46,6 +53,7 @@ impl ExperimentConfig {
             warmup: SimDuration::from_secs(5),
             drain: SimDuration::from_secs(40),
             lossy_recovery: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -197,6 +205,7 @@ pub fn run_trace_instrumented(
     let router_assist = matches!(protocol, Protocol::Cesrm(c) if c.router_assist);
     let net = cfg.net.with_router_assist(router_assist);
     let mut sim = Simulator::new(tree.clone(), net);
+    sim.set_scheduler(cfg.scheduler);
     if cfg.lossy_recovery {
         sim.set_loss(Box::new(ProbabilisticLoss::new(
             TraceLoss::new(plan),

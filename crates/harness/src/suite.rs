@@ -500,7 +500,11 @@ pub fn run_suites(cfg: &SuiteConfig, seeds: &[u64]) -> Vec<SuiteResult> {
     let per_seed: Vec<Vec<RunJob>> = seeds.iter().map(|&s| suite_jobs(cfg, s)).collect();
     let stride = per_seed.first().map_or(0, Vec::len);
     let jobs: Vec<RunJob> = per_seed.into_iter().flatten().collect();
-    let workers = resolve_jobs(cfg.jobs);
+    // Clamp to the job count *before* recording: `run_indexed` never spawns
+    // more workers than jobs, and the bench report must state the worker
+    // count actually used, not the one requested (a `--jobs 64` run of a
+    // 2-job suite executes on 2 workers).
+    let workers = resolve_jobs(cfg.jobs).clamp(1, jobs.len().max(1));
     let outputs = run_indexed(jobs, workers, |_, job| job.execute());
 
     let mut results = Vec::with_capacity(seeds.len());
@@ -578,6 +582,33 @@ mod tests {
         assert_eq!(r.timing.runs[1].protocol, "CESRM");
         assert_eq!(r.timing.runs[0].trace, 4);
         assert!(r.timing.cpu_total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn timing_records_effective_worker_count() {
+        // 2 traces × 2 protocols = 4 jobs; an oversized request must be
+        // reported as the clamped count that actually ran.
+        let mut cfg = SuiteConfig::quick(0.01).with_jobs(64);
+        cfg.traces = Some(vec![4, 13]);
+        let r = run_suite(&cfg);
+        assert_eq!(r.timing.jobs, 4, "jobs must be clamped to the job count");
+    }
+
+    #[test]
+    fn multicore_parallel_run_reports_superunit_speedup() {
+        if crate::runner::default_parallelism() < 2 {
+            // Single-core runner: workers cannot overlap, speedup ≈ 1.
+            return;
+        }
+        let mut cfg = SuiteConfig::quick(0.01).with_jobs(2);
+        cfg.traces = Some(vec![4, 13]);
+        let r = run_suite(&cfg);
+        assert_eq!(r.timing.jobs, 2);
+        let speedup = r.timing.cpu_total().as_secs_f64() / r.timing.wall.as_secs_f64();
+        assert!(
+            speedup > 1.0,
+            "2 workers on a multi-core host must overlap work, got speedup {speedup:.3}"
+        );
     }
 
     #[test]

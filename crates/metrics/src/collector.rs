@@ -1,4 +1,3 @@
-use std::collections::BTreeMap;
 use std::fmt;
 
 use netsim::{CastClass, Direction, Packet, PacketBody, SimObserver, SimTime};
@@ -92,17 +91,27 @@ impl OverheadBreakdown {
     }
 }
 
+/// Number of [`PacketKind`] variants (dense counter index space).
+const KIND_COUNT: usize = 6;
+/// Number of [`CastClass`] variants (dense counter index space).
+const CAST_COUNT: usize = 3;
+
 /// A [`SimObserver`] that counts packet sends per node and link crossings
 /// per packet kind and cast mode.
 ///
-/// Counters live in `BTreeMap`s so every aggregate is computed in key
-/// order: runs are reproducible byte-for-byte across processes and worker
-/// threads (`HashMap`'s per-instance hash seed would reorder accumulation
-/// between otherwise identical runs).
+/// Counters are dense arrays indexed by `(node, kind)` and `(kind, cast)`:
+/// the observer sits on the per-crossing hot path, and integer-indexed
+/// bumps replace the former `BTreeMap` entry lookups. All aggregates are
+/// exact `u64` sums, so accumulation order cannot perturb results and
+/// byte-for-byte reproducibility across processes and worker threads is
+/// preserved.
 #[derive(Clone, Default, Debug)]
 pub struct TrafficCollector {
-    sends: BTreeMap<(NodeId, PacketKind), u64>,
-    crossings: BTreeMap<(PacketKind, CastClass), u64>,
+    /// `sends[node][kind]`: packets of `kind` sent by `node`; grown on
+    /// demand to the highest sending node id.
+    sends: Vec<[u64; KIND_COUNT]>,
+    /// `crossings[kind][cast]`: link crossings of `kind` under `cast`.
+    crossings: [[u64; CAST_COUNT]; KIND_COUNT],
     drops: u64,
 }
 
@@ -114,30 +123,24 @@ impl TrafficCollector {
 
     /// Number of packets of `kind` sent by `node`.
     pub fn sends_by(&self, node: NodeId, kind: PacketKind) -> u64 {
-        self.sends.get(&(node, kind)).copied().unwrap_or(0)
+        self.sends
+            .get(node.0 as usize)
+            .map_or(0, |row| row[kind as usize])
     }
 
     /// Total packets of `kind` sent by any node.
     pub fn total_sends(&self, kind: PacketKind) -> u64 {
-        self.sends
-            .iter()
-            .filter(|((_, k), _)| *k == kind)
-            .map(|(_, v)| v)
-            .sum()
+        self.sends.iter().map(|row| row[kind as usize]).sum()
     }
 
     /// Total link crossings of `kind` under `cast`.
     pub fn crossings(&self, kind: PacketKind, cast: CastClass) -> u64 {
-        self.crossings.get(&(kind, cast)).copied().unwrap_or(0)
+        self.crossings[kind as usize][cast as usize]
     }
 
     /// Total link crossings of `kind` under any cast mode.
     pub fn crossings_any_cast(&self, kind: PacketKind) -> u64 {
-        self.crossings
-            .iter()
-            .filter(|((k, _), _)| *k == kind)
-            .map(|(_, v)| v)
-            .sum()
+        self.crossings[kind as usize].iter().sum()
     }
 
     /// Number of packets dropped in transit.
@@ -159,17 +162,15 @@ impl TrafficCollector {
 
 impl SimObserver for TrafficCollector {
     fn on_send(&mut self, _now: SimTime, node: NodeId, packet: &Packet) {
-        *self
-            .sends
-            .entry((node, PacketKind::of(packet)))
-            .or_insert(0) += 1;
+        let idx = node.0 as usize;
+        if idx >= self.sends.len() {
+            self.sends.resize(idx + 1, [0; KIND_COUNT]);
+        }
+        self.sends[idx][PacketKind::of(packet) as usize] += 1;
     }
 
     fn on_link_crossing(&mut self, _now: SimTime, _link: LinkId, _dir: Direction, packet: &Packet) {
-        *self
-            .crossings
-            .entry((PacketKind::of(packet), packet.cast))
-            .or_insert(0) += 1;
+        self.crossings[PacketKind::of(packet) as usize][packet.cast as usize] += 1;
     }
 
     fn on_drop(&mut self, _now: SimTime, _link: LinkId, _packet: &Packet) {

@@ -1,5 +1,5 @@
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+
 use std::rc::Rc;
 
 use netsim::{PacketId, SimTime};
@@ -39,13 +39,21 @@ impl RecoveryRecord {
 /// earliest detection and the earliest recovery win, later duplicates are
 /// ignored.
 ///
-/// Records are keyed in a `BTreeMap` so iteration is in `(receiver, id)`
-/// order: aggregates derived from the log are byte-for-byte reproducible
-/// across processes and worker threads, which the parallel suite runner
-/// relies on (`HashMap` iteration order would perturb float accumulation).
+/// Records are stored per receiver (dense-indexed by node id) in `PacketId`
+/// order, so iteration is in `(receiver, id)` order exactly as the former
+/// `BTreeMap<(NodeId, PacketId), _>` iterated: aggregates derived from the
+/// log are byte-for-byte reproducible across processes and worker threads,
+/// which the parallel suite runner relies on (`HashMap` iteration order
+/// would perturb float accumulation). Losses are detected in roughly
+/// ascending sequence order, so the sorted insert is almost always an
+/// append and lookups are binary searches over contiguous memory — the log
+/// sits on the loss-recovery hot path.
 #[derive(Clone, Default, Debug)]
 pub struct RecoveryLog {
-    records: BTreeMap<(NodeId, PacketId), RecoveryRecord>,
+    /// `records[receiver]` sorted ascending by [`RecoveryRecord::id`].
+    records: Vec<Vec<RecoveryRecord>>,
+    /// Total record count across receivers.
+    count: usize,
     /// Structured-event trace for per-loss provenance; off by default.
     trace: obs::TraceHandle,
     metrics: LogMetrics,
@@ -114,18 +122,29 @@ impl RecoveryLog {
     /// (the panics below) is what the orphan-repair and causality monitors
     /// (I2/I6, `docs/MONITORS.md`) check end-to-end on the event stream.
     pub fn on_detect(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
-        let mut fresh = false;
-        self.records.entry((receiver, id)).or_insert_with(|| {
-            fresh = true;
-            RecoveryRecord {
-                receiver,
-                id,
-                detected_at: now,
-                recovered_at: None,
-                expedited: false,
-                requests_sent: 0,
+        let idx = receiver.0 as usize;
+        if idx >= self.records.len() {
+            self.records.resize_with(idx + 1, Vec::new);
+        }
+        let row = &mut self.records[idx];
+        let fresh = match row.binary_search_by(|r| r.id.cmp(&id)) {
+            Ok(_) => false,
+            Err(pos) => {
+                row.insert(
+                    pos,
+                    RecoveryRecord {
+                        receiver,
+                        id,
+                        detected_at: now,
+                        recovered_at: None,
+                        expedited: false,
+                        requests_sent: 0,
+                    },
+                );
+                self.count += 1;
+                true
             }
-        });
+        };
         if fresh {
             self.metrics.detected.inc();
             self.trace
@@ -145,8 +164,7 @@ impl RecoveryLog {
     /// can only recover losses they detected.
     pub fn on_recover(&mut self, receiver: NodeId, id: PacketId, now: SimTime, expedited: bool) {
         let rec = self
-            .records
-            .get_mut(&(receiver, id))
+            .record_mut(receiver, id)
             .expect("recovery without prior detection");
         if rec.recovered_at.is_none() {
             rec.recovered_at = Some(now);
@@ -172,8 +190,7 @@ impl RecoveryLog {
     /// Panics if no detection was recorded for `(receiver, id)`.
     pub fn on_request_sent(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
         let rec = self
-            .records
-            .get_mut(&(receiver, id))
+            .record_mut(receiver, id)
             .expect("request without prior detection");
         rec.requests_sent += 1;
         let round = rec.requests_sent;
@@ -190,9 +207,13 @@ impl RecoveryLog {
     /// reordering). No-op if no record exists or the loss already
     /// recovered (a recovery proves the loss was real).
     pub fn on_spurious(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
-        if let Some(rec) = self.records.get(&(receiver, id)) {
-            if rec.recovered_at.is_none() {
-                self.records.remove(&(receiver, id));
+        let Some(row) = self.records.get_mut(receiver.0 as usize) else {
+            return;
+        };
+        if let Ok(pos) = row.binary_search_by(|r| r.id.cmp(&id)) {
+            if row[pos].recovered_at.is_none() {
+                row.remove(pos);
+                self.count -= 1;
                 self.metrics.spurious.inc();
                 self.trace
                     .emit(now.as_nanos(), || obs::Event::SpuriousLoss {
@@ -205,30 +226,35 @@ impl RecoveryLog {
 
     /// `true` iff `receiver` has a record (i.e. detected the loss) for `id`.
     pub fn detected(&self, receiver: NodeId, id: PacketId) -> bool {
-        self.records.contains_key(&(receiver, id))
+        self.records
+            .get(receiver.0 as usize)
+            .is_some_and(|row| row.binary_search_by(|r| r.id.cmp(&id)).is_ok())
     }
 
     /// All records, in ascending `(receiver, packet)` order.
     pub fn records(&self) -> impl Iterator<Item = &RecoveryRecord> {
-        self.records.values()
+        self.records.iter().flatten()
     }
 
     /// Number of records (detected losses).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.count
     }
 
     /// `true` iff no losses were detected.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.count == 0
     }
 
     /// Number of detected losses never recovered.
     pub fn unrecovered(&self) -> usize {
-        self.records
-            .values()
-            .filter(|r| r.recovered_at.is_none())
-            .count()
+        self.records().filter(|r| r.recovered_at.is_none()).count()
+    }
+
+    fn record_mut(&mut self, receiver: NodeId, id: PacketId) -> Option<&mut RecoveryRecord> {
+        let row = self.records.get_mut(receiver.0 as usize)?;
+        let pos = row.binary_search_by(|r| r.id.cmp(&id)).ok()?;
+        Some(&mut row[pos])
     }
 }
 

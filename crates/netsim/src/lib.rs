@@ -59,21 +59,25 @@
 //! off-handle the call sites are zero-cost.
 
 mod agent;
+mod arena;
 mod config;
 mod loss;
 mod observer;
 mod packet;
+mod queue;
 mod sim;
 mod time;
 mod tracer;
 
 pub use agent::{Agent, Context, DeliveryMeta, TimerToken};
+pub use arena::{PacketArena, PacketHandle};
 pub use config::NetConfig;
-pub use loss::{LossProcess, NoLoss, ProbabilisticLoss, TraceLoss};
+pub use loss::{GilbertLoss, LossProcess, NoLoss, ProbabilisticLoss, TraceLoss};
 pub use observer::{Direction, NullObserver, SimObserver};
 pub use packet::{
     CastClass, Packet, PacketBody, PacketId, RecoveryTuple, SeqNo, SessionData, SessionEcho,
 };
+pub use queue::SchedulerKind;
 pub use sim::{scheduled_event_footprint_bytes, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use tracer::{EventTracer, TraceEvent, TraceEventKind};

@@ -1,14 +1,12 @@
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
-use std::rc::Rc;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use topology::{LinkId, MulticastTree, NodeId};
 
 use crate::agent::{Agent, Context, DeliveryMeta, TimerToken};
+use crate::arena::{PacketArena, PacketHandle};
 use crate::observer::{Direction, NullObserver, SimObserver};
+use crate::queue::{Entry, EventQueue, SchedulerKind};
 use crate::{CastClass, LossProcess, NetConfig, NoLoss, Packet, PacketBody, SimDuration, SimTime};
 
 /// Maps a packet onto the dependency-free tracing vocabulary of the `obs`
@@ -48,7 +46,10 @@ enum PropMode {
     FloodDown,
 }
 
-#[derive(Debug)]
+/// A queued simulator event. `Hop` carries a copyable arena handle rather
+/// than a reference-counted packet: the event payload stays small and POD,
+/// and the packet body lives exactly once in the [`PacketArena`].
+#[derive(Clone, Copy, Debug)]
 enum EventKind {
     Start {
         node: NodeId,
@@ -60,25 +61,31 @@ enum EventKind {
     Hop {
         at: NodeId,
         from: NodeId,
-        packet: Rc<Packet>,
+        handle: PacketHandle,
         mode: PropMode,
         turning_point: Option<NodeId>,
     },
 }
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
 /// Approximate heap footprint of one queued event, used by the harness to
 /// turn the queue-depth high-water mark into a peak-memory estimate for
-/// `BENCH_*.json`. The binary heap stores `Reverse<Scheduled>` inline;
-/// `Hop` events additionally share one `Rc<Packet>` per in-flight packet,
+/// `BENCH_*.json`. Both schedulers store their entries inline; `Hop`
+/// events additionally reference one arena slot per in-flight packet,
 /// which this deliberately does not count (it is shared, not per-event).
 pub fn scheduled_event_footprint_bytes() -> usize {
-    std::mem::size_of::<Reverse<Scheduled>>()
+    std::mem::size_of::<Entry<EventKind>>()
+}
+
+/// Per-link hot state, struct-of-arrays style: everything `transmit`
+/// touches per crossing sits in one 32-byte record indexed by the link's
+/// head node, instead of being scattered over parallel `Vec`s with an
+/// `Option` override branch for the delay.
+struct LinkState {
+    /// When the link becomes free per direction (0 = up, 1 = down).
+    free: [SimTime; 2],
+    /// Propagation delay; initialized from [`NetConfig::link_delay`] and
+    /// overwritten by [`Simulator::set_link_delay`].
+    delay: SimDuration,
 }
 
 /// Pre-registered metrics instruments for the simulator hot paths. All
@@ -143,23 +150,6 @@ impl SimMetrics {
     }
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The discrete-event simulator: a multicast tree, per-direction link
 /// queues, a totally-ordered event queue, protocol agents, a loss process
 /// and an observer.
@@ -168,20 +158,41 @@ impl Ord for Scheduled {
 /// [`NoLoss`] process and a [`NullObserver`]; replace them with
 /// [`set_loss`](Simulator::set_loss) and
 /// [`set_observer`](Simulator::set_observer) before running.
+///
+/// # Engine layout
+///
+/// The hot path is data-oriented: in-flight packets live in a
+/// [`PacketArena`] and events carry 8-byte handles; the scheduler is a
+/// calendar queue over discrete nanosecond timestamps (the legacy binary
+/// heap remains available via
+/// [`set_scheduler`](Simulator::set_scheduler)); per-link state is a
+/// dense struct-of-arrays and tree adjacency a CSR layout, so a flood hop
+/// touches contiguous memory and allocates nothing.
 pub struct Simulator {
     tree: MulticastTree,
     cfg: NetConfig,
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: EventQueue<EventKind>,
     next_seq: u64,
     next_timer: u64,
-    cancelled: BTreeSet<u64>,
-    /// `link_free[i][dir]` is when the link into node `i` becomes free in
-    /// direction `dir` (0 = up, 1 = down).
-    link_free: Vec<[SimTime; 2]>,
-    /// Per-link propagation delay overrides (by link head index); `None`
-    /// falls back to [`NetConfig::link_delay`].
-    link_delay_override: Vec<Option<SimDuration>>,
+    /// Cancelled-timer bitset indexed by token. Tokens are sequential, so
+    /// this stays dense; a set bit voids the pending `Timer` event.
+    cancelled: Vec<u64>,
+    /// Per-link hot state indexed by link head node (`LinkId::index`).
+    links: Vec<LinkState>,
+    /// CSR adjacency: the neighbours of node `i` are
+    /// `nbrs[nbr_start[i]..nbr_start[i+1]]`, parent first then children —
+    /// the same order as [`MulticastTree::neighbors`], which the event
+    /// sequence numbering (and hence determinism) depends on.
+    nbr_start: Vec<u32>,
+    nbrs: Vec<NodeId>,
+    /// `parent[i]` is the parent's node id, or `u32::MAX` for the root.
+    parent: Vec<u32>,
+    /// Transmission times precomputed per size class; identical to
+    /// [`NetConfig::transmission_time`] of the respective byte counts.
+    payload_tx: SimDuration,
+    control_tx: SimDuration,
+    arena: PacketArena,
     agents: Vec<Option<Box<dyn Agent>>>,
     loss: Box<dyn LossProcess>,
     observer: Box<dyn SimObserver>,
@@ -192,26 +203,50 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Creates a simulator over `tree` with the given configuration.
+    /// Creates a simulator over `tree` with the given configuration, using
+    /// the default calendar-queue scheduler.
     pub fn new(tree: MulticastTree, cfg: NetConfig) -> Self {
         let n = tree.len();
+        let mut nbr_start = Vec::with_capacity(n + 1);
+        let mut nbrs = Vec::new();
+        let mut parent = vec![u32::MAX; n];
+        for (i, slot) in parent.iter_mut().enumerate() {
+            nbr_start.push(u32::try_from(nbrs.len()).expect("adjacency overflow"));
+            let node = NodeId(u32::try_from(i).expect("node id overflow"));
+            if let Some(p) = tree.parent(node) {
+                *slot = p.0;
+                nbrs.push(p);
+            }
+            nbrs.extend_from_slice(tree.children(node));
+        }
+        nbr_start.push(u32::try_from(nbrs.len()).expect("adjacency overflow"));
         Simulator {
-            tree,
             rng: StdRng::seed_from_u64(cfg.seed),
-            cfg,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(SchedulerKind::Calendar),
             next_seq: 0,
             next_timer: 0,
-            cancelled: BTreeSet::new(),
-            link_free: vec![[SimTime::ZERO; 2]; n],
-            link_delay_override: vec![None; n],
+            cancelled: Vec::new(),
+            links: (0..n)
+                .map(|_| LinkState {
+                    free: [SimTime::ZERO; 2],
+                    delay: cfg.link_delay,
+                })
+                .collect(),
+            nbr_start,
+            nbrs,
+            parent,
+            payload_tx: cfg.transmission_time(cfg.payload_bytes),
+            control_tx: cfg.transmission_time(cfg.control_bytes),
+            arena: PacketArena::new(),
             agents: (0..n).map(|_| None).collect(),
             loss: Box::new(NoLoss),
             observer: Box::new(NullObserver),
             trace: obs::TraceHandle::off(),
             metrics: SimMetrics::off(),
             events_processed: 0,
+            tree,
+            cfg,
         }
     }
 
@@ -237,6 +272,36 @@ impl Simulator {
     #[inline]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Number of packets currently in flight (live arena slots).
+    #[inline]
+    pub fn live_packets(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// The scheduler implementation currently in use.
+    #[inline]
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Switches the event-queue implementation, migrating every pending
+    /// event while preserving its `(time, sequence)` position — the run's
+    /// observable behaviour is unaffected. Exists so determinism tests can
+    /// prove the calendar queue and the legacy heap produce byte-identical
+    /// results.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        if self.queue.kind() == kind {
+            return;
+        }
+        let pending = self.queue.drain_sorted();
+        let mut queue = EventQueue::new(kind);
+        let now = self.now.as_nanos();
+        for entry in pending {
+            queue.push(entry, now);
+        }
+        self.queue = queue;
     }
 
     /// Installs the loss process consulted on every link crossing.
@@ -270,7 +335,7 @@ impl Simulator {
     /// modelling heterogeneous link latencies. The paper uses uniform
     /// delays; this supports sensitivity studies beyond it.
     pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
-        self.link_delay_override[link.index()] = Some(delay);
+        self.links[link.index()].delay = delay;
     }
 
     /// Installs the traffic observer.
@@ -331,10 +396,10 @@ impl Simulator {
         &mut self,
         node: NodeId,
         prev_hop: NodeId,
-        packet: Packet,
+        packet: &Packet,
         turning_point: Option<NodeId>,
     ) {
-        self.deliver(node, prev_hop, &Rc::new(packet), turning_point);
+        self.deliver(node, prev_hop, packet, turning_point);
     }
 
     /// Processes exactly one event (if any), advancing the clock to it.
@@ -342,19 +407,22 @@ impl Simulator {
     /// [`inject_packet`](Simulator::inject_packet) this supports
     /// fine-grained protocol state-machine tests.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(entry) = self.queue.pop_at_most(u64::MAX) else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
+        debug_assert!(
+            entry.at >= self.now.as_nanos(),
+            "event queue went backwards"
+        );
+        self.now = SimTime::from_nanos(entry.at);
         self.events_processed += 1;
-        self.dispatch(ev.kind);
+        self.dispatch(entry.item);
         true
     }
 
     /// The timestamp of the next pending event, if any.
     pub fn next_event_at(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(ev)| ev.at)
+        self.queue.peek_at().map(SimTime::from_nanos)
     }
 
     /// Runs the simulation until the event queue is exhausted or simulated
@@ -362,15 +430,15 @@ impl Simulator {
     /// [`now`](Simulator::now) equals `until` (or the later of the two if
     /// events at exactly `until` were processed).
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > until {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
+        let limit = until.as_nanos();
+        while let Some(entry) = self.queue.pop_at_most(limit) {
+            debug_assert!(
+                entry.at >= self.now.as_nanos(),
+                "event queue went backwards"
+            );
+            self.now = SimTime::from_nanos(entry.at);
             self.events_processed += 1;
-            self.dispatch(ev.kind);
+            self.dispatch(entry.item);
         }
         if self.now < until {
             self.now = until;
@@ -385,7 +453,9 @@ impl Simulator {
             }
             EventKind::Timer { node, token } => {
                 self.metrics.events_timer.inc();
-                if self.cancelled.remove(&token) {
+                let word = (token / 64) as usize;
+                let bit = 1u64 << (token % 64);
+                if self.cancelled.get(word).is_some_and(|w| w & bit != 0) {
                     self.metrics.timers_voided.inc();
                     return;
                 }
@@ -394,12 +464,18 @@ impl Simulator {
             EventKind::Hop {
                 at,
                 from,
-                packet,
+                handle,
                 mode,
                 turning_point,
             } => {
                 self.metrics.events_hop.inc();
-                self.hop(at, from, &packet, mode, turning_point);
+                // Move the packet out of its arena slot for the duration of
+                // the hop so the simulator can be borrowed mutably while
+                // the packet is read; the slot keeps its reference count.
+                let packet = self.arena.take(handle);
+                self.hop(at, from, &packet, handle, mode, turning_point);
+                self.arena.restore(handle, packet);
+                self.arena.release(handle);
             }
         }
     }
@@ -417,7 +493,14 @@ impl Simulator {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.queue.push(
+            Entry {
+                at: at.as_nanos(),
+                seq,
+                item: kind,
+            },
+            self.now.as_nanos(),
+        );
         self.metrics.queue_depth.set(self.queue.len() as i64);
     }
 
@@ -432,7 +515,11 @@ impl Simulator {
 
     pub(crate) fn cancel_timer(&mut self, token: TimerToken) {
         self.metrics.timers_cancelled.inc();
-        self.cancelled.insert(token.0);
+        let word = (token.0 / 64) as usize;
+        if word >= self.cancelled.len() {
+            self.cancelled.resize(word + 1, 0);
+        }
+        self.cancelled[word] |= 1u64 << (token.0 % 64);
     }
 
     pub(crate) fn rng(&mut self) -> &mut StdRng {
@@ -455,68 +542,89 @@ impl Simulator {
     }
 
     pub(crate) fn send_multicast(&mut self, origin: NodeId, body: PacketBody) {
-        let packet = Rc::new(Packet {
+        let packet = Packet {
             origin,
             cast: CastClass::Multicast,
             body,
-        });
+        };
         self.observer.on_send(self.now, origin, &packet);
         if !matches!(packet.body, PacketBody::Session(_)) {
             self.trace_send(origin, &packet);
         }
-        self.fan_out(origin, None, &packet, PropMode::Flood, None);
+        let handle = self.arena.alloc();
+        self.fan_out(origin, None, &packet, handle, PropMode::Flood, None);
+        self.arena.fill(handle, packet);
+        self.arena.release(handle);
     }
 
     pub(crate) fn send_unicast(&mut self, origin: NodeId, dest: NodeId, body: PacketBody) {
         assert!(origin != dest, "cannot unicast to self");
-        let packet = Rc::new(Packet {
+        let packet = Packet {
             origin,
             cast: CastClass::Unicast,
             body,
-        });
+        };
         self.observer.on_send(self.now, origin, &packet);
         if !matches!(packet.body, PacketBody::Session(_)) {
             self.trace_send(origin, &packet);
         }
         let next = self.tree.next_hop(origin, dest);
-        self.transmit(origin, next, &packet, PropMode::Unicast(dest), None);
+        let handle = self.arena.alloc();
+        self.transmit(origin, next, &packet, handle, PropMode::Unicast(dest), None);
+        self.arena.fill(handle, packet);
+        self.arena.release(handle);
     }
 
     pub(crate) fn send_subcast(&mut self, origin: NodeId, via: NodeId, body: PacketBody) {
-        let packet = Rc::new(Packet {
+        let packet = Packet {
             origin,
             cast: CastClass::Subcast,
             body,
-        });
+        };
         self.observer.on_send(self.now, origin, &packet);
         if !matches!(packet.body, PacketBody::Session(_)) {
             self.trace_send(origin, &packet);
         }
+        let handle = self.arena.alloc();
         if origin == via {
-            self.flood_down(via, &packet, Some(via));
+            self.flood_down(via, &packet, handle, Some(via));
         } else {
             let next = self.tree.next_hop(origin, via);
-            self.transmit(origin, next, &packet, PropMode::SubcastLeg(via), None);
+            self.transmit(
+                origin,
+                next,
+                &packet,
+                handle,
+                PropMode::SubcastLeg(via),
+                None,
+            );
         }
+        self.arena.fill(handle, packet);
+        self.arena.release(handle);
     }
 
     /// Forwards a flood-mode packet from `at` to every neighbour except
-    /// `from`, computing turning-point transitions per branch.
+    /// `from`, computing turning-point transitions per branch. Iterates the
+    /// CSR adjacency (parent first, then children — the order event
+    /// sequence numbers, and thus determinism, depend on).
     fn fan_out(
         &mut self,
         at: NodeId,
         from: Option<NodeId>,
-        packet: &Rc<Packet>,
+        packet: &Packet,
+        handle: PacketHandle,
         mode: PropMode,
         turning_point: Option<NodeId>,
     ) {
-        let parent = self.tree.parent(at);
-        let neighbors = self.tree.neighbors(at);
-        for nb in neighbors {
+        let start = self.nbr_start[at.index()] as usize;
+        let end = self.nbr_start[at.index() + 1] as usize;
+        let parent = self.parent[at.index()];
+        for i in start..end {
+            let nb = self.nbrs[i];
             if Some(nb) == from {
                 continue;
             }
-            let going_down = Some(nb) != parent;
+            let going_down = nb.0 != parent;
             // The packet "turns" at the first node that forwards it onto a
             // downstream link; the turning point sticks from there on.
             let tp = if going_down {
@@ -524,14 +632,23 @@ impl Simulator {
             } else {
                 turning_point
             };
-            self.transmit(at, nb, packet, mode, tp);
+            self.transmit(at, nb, packet, handle, mode, tp);
         }
     }
 
-    fn flood_down(&mut self, at: NodeId, packet: &Rc<Packet>, turning_point: Option<NodeId>) {
-        let children: Vec<NodeId> = self.tree.children(at).to_vec();
-        for c in children {
-            self.transmit(at, c, packet, PropMode::FloodDown, turning_point);
+    fn flood_down(
+        &mut self,
+        at: NodeId,
+        packet: &Packet,
+        handle: PacketHandle,
+        turning_point: Option<NodeId>,
+    ) {
+        let has_parent = self.parent[at.index()] != u32::MAX;
+        let start = self.nbr_start[at.index()] as usize + usize::from(has_parent);
+        let end = self.nbr_start[at.index() + 1] as usize;
+        for i in start..end {
+            let c = self.nbrs[i];
+            self.transmit(at, c, packet, handle, PropMode::FloodDown, turning_point);
         }
     }
 
@@ -541,27 +658,30 @@ impl Simulator {
         &mut self,
         a: NodeId,
         b: NodeId,
-        packet: &Rc<Packet>,
+        packet: &Packet,
+        handle: PacketHandle,
         mode: PropMode,
         turning_point: Option<NodeId>,
     ) {
-        let (link, dir) = if self.tree.parent(b) == Some(a) {
-            (LinkId(b), Direction::Down)
-        } else if self.tree.parent(a) == Some(b) {
-            (LinkId(a), Direction::Up)
+        let (link, dir, dir_idx) = if self.parent[b.index()] == a.0 {
+            (LinkId(b), Direction::Down, 1)
+        } else if self.parent[a.index()] == b.0 {
+            (LinkId(a), Direction::Up, 0)
         } else {
             panic!("transmit between non-adjacent nodes {a} and {b}");
         };
-        let size = packet.body.size_bytes(&self.cfg);
-        let tx = self.cfg.transmission_time(size);
-        let dir_idx = match dir {
-            Direction::Up => 0,
-            Direction::Down => 1,
+        let tx = if packet.body.carries_payload() {
+            self.payload_tx
+        } else {
+            self.control_tx
         };
-        let free = &mut self.link_free[link.index()][dir_idx];
-        let depart = if *free > self.now { *free } else { self.now };
-        let depart = depart + tx;
-        *free = depart;
+        let (depart, base_delay) = {
+            let state = &mut self.links[link.index()];
+            let free = &mut state.free[dir_idx];
+            let depart = (if *free > self.now { *free } else { self.now }) + tx;
+            *free = depart;
+            (depart, state.delay)
+        };
         self.observer.on_link_crossing(self.now, link, dir, packet);
         if self.loss.should_drop(link, packet, &mut self.rng) {
             self.observer.on_drop(self.now, link, packet);
@@ -577,19 +697,19 @@ impl Simulator {
             return;
         }
         self.metrics.packets_forwarded.inc();
-        let base_delay = self.link_delay_override[link.index()].unwrap_or(self.cfg.link_delay);
         let jitter = if self.cfg.jitter.is_zero() {
             SimDuration::ZERO
         } else {
             SimDuration::from_nanos(self.rng.gen_range(0..=self.cfg.jitter.as_nanos()))
         };
         let arrive = depart + base_delay + jitter;
+        self.arena.retain(handle);
         self.push(
             arrive,
             EventKind::Hop {
                 at: b,
                 from: a,
-                packet: Rc::clone(packet),
+                handle,
                 mode,
                 turning_point,
             },
@@ -600,33 +720,41 @@ impl Simulator {
         &mut self,
         at: NodeId,
         from: NodeId,
-        packet: &Rc<Packet>,
+        packet: &Packet,
+        handle: PacketHandle,
         mode: PropMode,
         turning_point: Option<NodeId>,
     ) {
         match mode {
             PropMode::Flood => {
                 self.deliver(at, from, packet, turning_point);
-                self.fan_out(at, Some(from), packet, PropMode::Flood, turning_point);
+                self.fan_out(
+                    at,
+                    Some(from),
+                    packet,
+                    handle,
+                    PropMode::Flood,
+                    turning_point,
+                );
             }
             PropMode::FloodDown => {
                 self.deliver(at, from, packet, turning_point);
-                self.flood_down(at, packet, turning_point);
+                self.flood_down(at, packet, handle, turning_point);
             }
             PropMode::Unicast(dest) => {
                 if at == dest {
                     self.deliver(at, from, packet, turning_point);
                 } else {
                     let next = self.tree.next_hop(at, dest);
-                    self.transmit(at, next, packet, mode, turning_point);
+                    self.transmit(at, next, packet, handle, mode, turning_point);
                 }
             }
             PropMode::SubcastLeg(via) => {
                 if at == via {
-                    self.flood_down(via, packet, Some(via));
+                    self.flood_down(via, packet, handle, Some(via));
                 } else {
                     let next = self.tree.next_hop(at, via);
-                    self.transmit(at, next, packet, mode, turning_point);
+                    self.transmit(at, next, packet, handle, mode, turning_point);
                 }
             }
         }
@@ -636,7 +764,7 @@ impl Simulator {
         &mut self,
         node: NodeId,
         prev_hop: NodeId,
-        packet: &Rc<Packet>,
+        packet: &Packet,
         turning_point: Option<NodeId>,
     ) {
         if self.agents[node.index()].is_none() {
@@ -670,8 +798,7 @@ impl Simulator {
                 None
             },
         };
-        let pkt = Rc::clone(packet);
-        self.with_agent(node, |agent, ctx| agent.on_packet(ctx, &pkt, &meta));
+        self.with_agent(node, |agent, ctx| agent.on_packet(ctx, packet, &meta));
     }
 }
 
@@ -1061,7 +1188,7 @@ mod tests {
             cast: CastClass::Multicast,
             body: data_body(3),
         };
-        sim.inject_packet(NodeId(2), NodeId(1), pkt, Some(NodeId(1)));
+        sim.inject_packet(NodeId(2), NodeId(1), &pkt, Some(NodeId(1)));
         let entries = log.borrow();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].0, NodeId(2));
@@ -1234,5 +1361,81 @@ mod tests {
     fn self_unicast_rejected() {
         let mut sim = Simulator::new(sample_tree(), NetConfig::default());
         sim.send_unicast(NodeId(2), NodeId(2), control_body(NodeId(2)));
+    }
+
+    /// A run with plenty of concurrency and jitter must unfold identically
+    /// under the calendar queue and the legacy heap: same event count, same
+    /// delivery schedule, same rng consumption order.
+    #[test]
+    fn schedulers_produce_identical_runs() {
+        let run = |kind: SchedulerKind| {
+            let log: Log = Default::default();
+            let cfg = NetConfig::default()
+                .with_jitter(SimDuration::from_millis(15))
+                .with_seed(11);
+            let mut sim = Simulator::new(sample_tree(), cfg);
+            sim.set_scheduler(kind);
+            assert_eq!(sim.scheduler(), kind);
+            attach_all_receivers(&mut sim, &log);
+            struct Burst;
+            impl Agent for Burst {
+                fn on_start(&mut self, ctx: &mut Context<'_>) {
+                    for seq in 0..20 {
+                        ctx.multicast(data_body(seq));
+                    }
+                }
+                fn on_packet(&mut self, _: &mut Context<'_>, _: &Packet, _: &DeliveryMeta) {}
+                fn on_timer(&mut self, _: &mut Context<'_>, _: TimerToken) {}
+            }
+            sim.attach_agent(NodeId::ROOT, Box::new(Burst));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+            let deliveries: Vec<_> = log
+                .borrow()
+                .iter()
+                .map(|e| (e.0, e.1, e.2.clone()))
+                .collect();
+            (sim.events_processed(), deliveries)
+        };
+        assert_eq!(run(SchedulerKind::Calendar), run(SchedulerKind::LegacyHeap));
+    }
+
+    /// Switching schedulers mid-run migrates every pending event without
+    /// changing the run's behaviour.
+    #[test]
+    fn set_scheduler_migrates_pending_events() {
+        let run = |switch: bool| {
+            let log: Log = Default::default();
+            let mut sim = Simulator::new(sample_tree(), NetConfig::default().with_seed(3));
+            attach_all_receivers(&mut sim, &log);
+            sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+            // Run just past the first link crossings, leaving hops with
+            // live arena handles and timers in the queue.
+            sim.run_until(SimTime::ZERO + SimDuration::from_millis(25));
+            if switch {
+                sim.set_scheduler(SchedulerKind::LegacyHeap);
+                sim.set_scheduler(SchedulerKind::Calendar);
+                sim.set_scheduler(SchedulerKind::LegacyHeap);
+            }
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            let deliveries: Vec<_> = log.borrow().iter().map(|e| (e.0, e.1)).collect();
+            (sim.events_processed(), deliveries)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Every arena slot drains back to the free list once its hops settle:
+    /// no leaks, no premature recycling, across all propagation modes.
+    #[test]
+    fn arena_drains_after_quiescence() {
+        let log: Log = Default::default();
+        let cfg = NetConfig::default().with_router_assist(true);
+        let mut sim = Simulator::new(sample_tree(), cfg);
+        sim.set_loss(Box::new(TraceLoss::new([(LinkId(NodeId(3)), SeqNo(0))])));
+        attach_all_receivers(&mut sim, &log);
+        sim.attach_agent(NodeId::ROOT, sender(&log, CastKind::Multi, data_body(0)));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(1));
+        assert!(sim.live_packets() > 0, "hops in flight keep slots live");
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(sim.live_packets(), 0, "all slots released after the run");
     }
 }

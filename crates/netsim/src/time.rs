@@ -25,6 +25,14 @@ impl SimTime {
         self.0
     }
 
+    /// The instant `ns` nanoseconds after the origin — the inverse of
+    /// [`as_nanos`](Self::as_nanos), used when reconstructing timestamps
+    /// from the integer-keyed event queue.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
     /// Time since the origin as floating-point seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {

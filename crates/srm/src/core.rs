@@ -45,8 +45,12 @@ pub struct SrmCore {
     losses: BTreeMap<u64, LossState>,
     replies: BTreeMap<u64, ReplyState>,
     timers: BTreeMap<TimerToken, TimerKind>,
-    peers: BTreeMap<NodeId, PeerEcho>,
-    dist: BTreeMap<NodeId, SimDuration>,
+    /// Last session echo per peer, dense-indexed by node id. Index order is
+    /// node-id order, so session echoes are emitted exactly as the previous
+    /// `BTreeMap<NodeId, _>` iterated them.
+    peers: Vec<Option<PeerEcho>>,
+    /// One-way distance estimate per peer, dense-indexed by node id.
+    dist: Vec<Option<SimDuration>>,
     newly_detected: Vec<SeqNo>,
     default_distance_uses: u64,
     spurious_detections: u64,
@@ -113,8 +117,8 @@ impl SrmCore {
             losses: BTreeMap::new(),
             replies: BTreeMap::new(),
             timers: BTreeMap::new(),
-            peers: BTreeMap::new(),
-            dist: BTreeMap::new(),
+            peers: Vec::new(),
+            dist: Vec::new(),
             newly_detected: Vec::new(),
             default_distance_uses: 0,
             spurious_detections: 0,
@@ -196,7 +200,7 @@ impl SrmCore {
 
     /// Estimated one-way distance to `peer` from session exchange.
     pub fn dist_to(&self, peer: NodeId) -> Option<SimDuration> {
-        self.dist.get(&peer).copied()
+        self.dist.get(peer.0 as usize).copied().flatten()
     }
 
     /// Estimated one-way distance to the source, falling back to
@@ -368,10 +372,13 @@ impl SrmCore {
         let echoes: Vec<SessionEcho> = self
             .peers
             .iter()
-            .map(|(&peer, e)| SessionEcho {
-                peer,
-                sent_at: e.sent_at,
-                held_for: ctx.now().saturating_since(e.received_at),
+            .enumerate()
+            .filter_map(|(peer, e)| {
+                e.as_ref().map(|e| SessionEcho {
+                    peer: NodeId(peer as u32),
+                    sent_at: e.sent_at,
+                    held_for: ctx.now().saturating_since(e.received_at),
+                })
             })
             .collect();
         ctx.multicast(PacketBody::session_about(
@@ -533,13 +540,14 @@ impl SrmCore {
     }
 
     fn receive_session(&mut self, ctx: &mut Context<'_>, data: &SessionData) {
-        self.peers.insert(
-            data.member,
-            PeerEcho {
-                sent_at: data.sent_at,
-                received_at: ctx.now(),
-            },
-        );
+        let member = data.member.0 as usize;
+        if member >= self.peers.len() {
+            self.peers.resize(member + 1, None);
+        }
+        self.peers[member] = Some(PeerEcho {
+            sent_at: data.sent_at,
+            received_at: ctx.now(),
+        });
         for echo in &data.echoes {
             if echo.peer == self.me {
                 // d̂ = (now − our_send_time − peer_hold_time) / 2.
@@ -549,7 +557,10 @@ impl SrmCore {
                 } else {
                     SimDuration::ZERO
                 };
-                self.dist.insert(data.member, rtt / 2);
+                if member >= self.dist.len() {
+                    self.dist.resize(member + 1, None);
+                }
+                self.dist[member] = Some(rtt / 2);
             }
         }
         if let Some(h) = data.highest_seq {
@@ -699,6 +710,11 @@ impl SrmCore {
         if self.role.is_source() || !self.received.insert(seq.value()) {
             return;
         }
+        // Hot path: most receptions are in-order originals with no loss
+        // outstanding; skip the map walk entirely then.
+        if self.losses.is_empty() {
+            return;
+        }
         if let Some(state) = self.losses.remove(&seq.value()) {
             if let Some(tok) = state.timer {
                 ctx.cancel_timer(tok);
@@ -721,8 +737,8 @@ impl SrmCore {
     }
 
     fn dist_or_default(&mut self, peer: NodeId) -> SimDuration {
-        match self.dist.get(&peer) {
-            Some(&d) => d,
+        match self.dist.get(peer.0 as usize).copied().flatten() {
+            Some(d) => d,
             None => {
                 self.default_distance_uses += 1;
                 self.params.default_distance

@@ -32,13 +32,17 @@ impl ReceivedSet {
         if seq < self.floor {
             return false;
         }
-        if !self.above.insert(seq) {
-            return false;
-        }
-        while self.above.remove(&self.floor) {
+        if seq == self.floor {
+            // In-order arrival — the overwhelmingly common case. Advance the
+            // floor directly; only touch the sparse tail if it can now be
+            // compacted.
             self.floor += 1;
+            while self.above.remove(&self.floor) {
+                self.floor += 1;
+            }
+            return true;
         }
-        true
+        self.above.insert(seq)
     }
 
     /// The highest received sequence number, if any.

@@ -143,8 +143,8 @@ fn request_rounds_double_per_paper_section_2_1() {
     let mut f = fixture();
     // Deliver packets 0 and 2 back to back: packet 1 is detected lost at
     // time 0 and the first request is scheduled in [200, 400] ms.
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     assert!(f.log.borrow().detected(ME, pid(1)));
     // No reply ever comes: watch three full rounds.
     f.sim
@@ -162,13 +162,13 @@ fn request_rounds_double_per_paper_section_2_1() {
 #[test]
 fn foreign_request_backs_off_to_the_next_round() {
     let mut f = fixture();
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // A request from n3 arrives before our round-0 timer fires: our request
     // is pushed to round 1, i.e. it fires at ≥ 400 ms rather than ≤ 400 ms
     // (the reschedule interval starts afresh at the reception instant).
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(1, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(1_000));
     let reqs = request_times(&f);
@@ -183,15 +183,15 @@ fn foreign_request_backs_off_to_the_next_round() {
 #[test]
 fn backoff_abstinence_limits_one_backoff_per_round() {
     let mut f = fixture();
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // Two foreign requests in the same instant: the second falls within the
     // back-off abstinence period (2^1 · C3 · d = 300 ms) and must not back
     // us off again — the request still fires within round 1's window.
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(1, NodeId(3)), None);
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(1, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(1, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(2_000));
     let reqs = request_times(&f);
@@ -207,9 +207,9 @@ fn backoff_abstinence_limits_one_backoff_per_round() {
 fn reply_scheduled_within_reply_window_and_annotated() {
     let mut f = fixture();
     // We hold packet 0; n3 requests it.
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(0, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(1_000));
     let replies = reply_times(&f);
@@ -233,14 +233,14 @@ fn reply_scheduled_within_reply_window_and_annotated() {
 #[test]
 fn hearing_a_reply_cancels_our_scheduled_reply() {
     let mut f = fixture();
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(0, NodeId(3)), None);
     // Someone else answers before our reply timer fires.
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(50));
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_reply(0, NodeId(3), NodeId(0)), None);
+        .inject_packet(ME, NodeId(1), &foreign_reply(0, NodeId(3), NodeId(0)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(1_000));
     assert!(reply_times(&f).is_empty(), "our reply must be suppressed");
@@ -249,16 +249,16 @@ fn hearing_a_reply_cancels_our_scheduled_reply() {
 #[test]
 fn reply_abstinence_discards_duplicate_requests() {
     let mut f = fixture();
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(0, NodeId(3)), None);
     // Let our reply fire (≤ 200 ms), then a duplicate request arrives
     // within the abstinence period D3·d(we→requestor): discarded.
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(210));
     assert_eq!(reply_times(&f).len(), 1);
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_request(0, NodeId(3)), None);
+        .inject_packet(ME, NodeId(1), &foreign_request(0, NodeId(3)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(320));
     assert_eq!(
@@ -271,13 +271,13 @@ fn reply_abstinence_discards_duplicate_requests() {
 #[test]
 fn recovery_via_reply_cancels_pending_request() {
     let mut f = fixture();
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
-    f.sim.inject_packet(ME, NodeId(1), data(2), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(2), None);
     // The repair arrives before our request timer (≥ 200 ms) fires.
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(50));
     f.sim
-        .inject_packet(ME, NodeId(1), foreign_reply(1, NodeId(3), NodeId(0)), None);
+        .inject_packet(ME, NodeId(1), &foreign_reply(1, NodeId(3), NodeId(0)), None);
     f.sim
         .run_until(SimTime::ZERO + SimDuration::from_millis(2_000));
     assert!(request_times(&f).is_empty(), "request must be cancelled");
@@ -291,14 +291,14 @@ fn recovery_via_reply_cancels_pending_request() {
 #[test]
 fn session_report_detects_tail_loss() {
     let mut f = fixture();
-    f.sim.inject_packet(ME, NodeId(1), data(0), None);
+    f.sim.inject_packet(ME, NodeId(1), &data(0), None);
     // A session message from n3 reveals packets up to 3 exist.
     let session = Packet {
         origin: NodeId(3),
         cast: CastClass::Multicast,
         body: PacketBody::session(NodeId(3), SimTime::ZERO, Some(SeqNo(3)), Vec::new()),
     };
-    f.sim.inject_packet(ME, NodeId(1), session, None);
+    f.sim.inject_packet(ME, NodeId(1), &session, None);
     assert!(f.log.borrow().detected(ME, pid(1)));
     assert!(f.log.borrow().detected(ME, pid(2)));
     assert!(f.log.borrow().detected(ME, pid(3)));
@@ -341,7 +341,7 @@ fn session_echo_establishes_distance() {
             }],
         }),
     };
-    f.sim.inject_packet(ME, NodeId(1), echo, None);
+    f.sim.inject_packet(ME, NodeId(1), &echo, None);
     let agent = f.sim.agent_as::<SrmAgent>(ME).unwrap();
     assert_eq!(
         agent.core().dist_to(SOURCE),

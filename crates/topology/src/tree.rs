@@ -23,6 +23,12 @@ pub struct MulticastTree {
     receivers: Vec<NodeId>,
     /// Receivers in the subtree rooted at each node, sorted by id.
     receivers_below: Vec<Vec<NodeId>>,
+    /// Preorder entry index of each node (Euler-tour interval start).
+    tin: Vec<u32>,
+    /// One past the last preorder index inside each node's subtree, so the
+    /// subtree of `n` is exactly `{ u : tin[n] <= tin[u] < tout[n] }` and
+    /// ancestor tests are O(1).
+    tout: Vec<u32>,
 }
 
 impl MulticastTree {
@@ -110,6 +116,24 @@ impl MulticastTree {
         if receivers.is_empty() {
             return Err(TreeError::NoReceivers);
         }
+        // Euler-tour intervals: preorder entry per node plus the end of its
+        // subtree's preorder range, for O(1) ancestor/subtree membership.
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut walk: Vec<(NodeId, bool)> = vec![(NodeId::ROOT, false)];
+        while let Some((u, expanded)) = walk.pop() {
+            if expanded {
+                tout[u.index()] = clock;
+            } else {
+                tin[u.index()] = clock;
+                clock += 1;
+                walk.push((u, true));
+                for &c in children[u.index()].iter().rev() {
+                    walk.push((c, false));
+                }
+            }
+        }
         // Post-order accumulation of subtree receiver sets.
         let mut receivers_below: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let order = post_order(&children);
@@ -131,6 +155,8 @@ impl MulticastTree {
             depth_of,
             receivers,
             receivers_below,
+            tin,
+            tout,
         })
     }
 
@@ -232,16 +258,14 @@ impl MulticastTree {
     }
 
     /// `true` iff `maybe_ancestor` lies on the path from the root to `n`
-    /// (inclusive of `n` itself).
+    /// (inclusive of `n` itself). O(1) via the precomputed Euler-tour
+    /// intervals — this sits on the simulator's per-hop unicast routing
+    /// path, where the previous parent-pointer walk was O(depth).
+    #[inline]
     pub fn is_ancestor_or_self(&self, maybe_ancestor: NodeId, n: NodeId) -> bool {
-        let mut cur = Some(n);
-        while let Some(u) = cur {
-            if u == maybe_ancestor {
-                return true;
-            }
-            cur = self.parent(u);
-        }
-        false
+        let a = maybe_ancestor.index();
+        let u = n.index();
+        self.tin[a] <= self.tin[u] && self.tin[u] < self.tout[a]
     }
 
     /// The lowest common ancestor of `a` and `b`.
@@ -484,6 +508,33 @@ mod tests {
         assert!(t.is_ancestor_or_self(NodeId(1), NodeId(5)));
         assert!(t.is_ancestor_or_self(NodeId(5), NodeId(5)));
         assert!(!t.is_ancestor_or_self(NodeId(2), NodeId(5)));
+    }
+
+    /// The Euler-tour interval check must agree with the definitional
+    /// parent-pointer walk for every ordered pair of nodes.
+    #[test]
+    fn ancestor_intervals_match_parent_walk() {
+        let t = sample();
+        let walk_ancestor = |a: NodeId, n: NodeId| {
+            let mut cur = Some(n);
+            while let Some(u) = cur {
+                if u == a {
+                    return true;
+                }
+                cur = t.parent(u);
+            }
+            false
+        };
+        for a in 0..t.len() {
+            for n in 0..t.len() {
+                let (a, n) = (NodeId(a as u32), NodeId(n as u32));
+                assert_eq!(
+                    t.is_ancestor_or_self(a, n),
+                    walk_ancestor(a, n),
+                    "disagreement for ancestor={a:?} node={n:?}"
+                );
+            }
+        }
     }
 
     #[test]
