@@ -195,6 +195,26 @@ impl CesrmAgent {
         &self.core
     }
 
+    /// Mutable access to the underlying SRM engine, for pre-run
+    /// configuration in scale mode (`seed_distance`,
+    /// `set_sessions_enabled`).
+    pub fn core_mut(&mut self) -> &mut SrmCore {
+        &mut self.core
+    }
+
+    /// Estimated heap-resident protocol state in bytes: the SRM engine's
+    /// sparse state plus the expedited layer (recovery cache and armed
+    /// expedited timers). Like `SrmCore::state_bytes` this counts payload
+    /// sizes, not allocator overhead — it is a relative footprint measure
+    /// for the scaling experiment, not an exact heap profile.
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.core.state_bytes()
+            + self.cache.len() * (size_of::<u64>() + size_of::<RecoveryTuple>())
+            + self.expedited.len() * (size_of::<TimerToken>() + size_of::<(SeqNo, RecoveryTuple)>())
+            + self.pending.len() * (size_of::<u64>() + size_of::<TimerToken>())
+    }
+
     /// Upon detecting a loss, decide whether this host is the expeditious
     /// requestor and arm the `REORDER-DELAY` timer if so (§3.2).
     fn consider_expedited(&mut self, ctx: &mut Context<'_>, seq: SeqNo) {

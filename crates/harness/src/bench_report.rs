@@ -38,6 +38,7 @@ pub const VOLATILE_FIELDS: &[&str] = &[
     "speedup",
     "events_per_sec",
     "monitor_overhead",
+    "peak_rss_bytes",
 ];
 
 /// Regression thresholds for [`compare_reports`], in percent.

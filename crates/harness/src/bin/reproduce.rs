@@ -40,10 +40,41 @@
 //! `totals.monitor_overhead`, and exits with status 3 when the CPU-time
 //! overhead exceeds `--monitor-overhead-max-pct` (default 5; deltas under
 //! 50 ms are treated as timer noise).
+//!
+//! # `reproduce scale` — million-receiver sweeps
+//!
+//! ```text
+//! cargo run --release -p harness --bin reproduce -- scale
+//!     [--rungs N,N,...] [--shards N] [--protocol srm|cesrm] [--seed N]
+//!     [--packets N] [--losses N] [--csv FILE] [--bench-report FILE|-]
+//!     [--check-identity] [--no-identity] [--in-process] [--max-rss-mb N]
+//! ```
+//!
+//! Runs the scaling experiment of `docs/SCALING.md`: each rung simulates
+//! one source multicasting to `N` receivers on a synthetic backbone/access
+//! tree (default sweep 10³ → 10⁶), with deterministic loss injection,
+//! sharded across worker threads above 10⁴ receivers, invariant-monitored
+//! at the unsharded rungs, and byte-identity-checked between shard counts.
+//! Each rung runs in a child process so peak-RSS figures are isolated
+//! (`--in-process` opts out). Prints a per-rung table (events/s, peak RSS,
+//! bytes per receiver, recovery latency), optionally writes a CSV and a
+//! `cesrm-bench/1` report. Exits 3 when a rung's peak RSS exceeds
+//! `--max-rss-mb`, 4 on an invariant violation or unrecovered loss, and 1
+//! when sharded results diverge from the unsharded canon.
 
 use harness::{bench_report_with, run_suite, BenchThresholds, SuiteConfig, TraceFilter};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("scale") => return scale_main(&argv[1..]),
+        Some("scale-rung") => return scale_rung_main(&argv[1..]),
+        _ => {}
+    }
+    suite_main(argv);
+}
+
+fn suite_main(argv: Vec<String>) {
     let mut cfg = SuiteConfig::paper_default();
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut seeds: u32 = 1;
@@ -58,7 +89,7 @@ fn main() {
     let mut health_path: Option<std::path::PathBuf> = None;
     let mut monitor_overhead = false;
     let mut overhead_max_pct: f64 = 5.0;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -368,6 +399,516 @@ fn main() {
     }
     if health_violations > 0 {
         eprintln!("INVARIANT VIOLATIONS: {health_violations} (details in the health report)");
+        std::process::exit(4);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `reproduce scale`: the 10³→10⁶ receiver scaling sweep (docs/SCALING.md).
+// ---------------------------------------------------------------------------
+
+/// One rung's measurements, whether produced in-process or parsed back
+/// from a `scale-rung` child process.
+struct RungOutcome {
+    receivers: u64,
+    shards: u32,
+    monitored: bool,
+    violations: Option<u64>,
+    csv: String,
+    events: u64,
+    detected: u64,
+    recovered: u64,
+    unrecovered: u64,
+    expedited: u64,
+    mean_latency_ns: u64,
+    control_crossings: u64,
+    state_bytes: u64,
+    state_bytes_per_receiver: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_rss_bytes: u64,
+}
+
+fn protocol_from_name(name: &str) -> harness::Protocol {
+    match name {
+        "srm" => harness::Protocol::Srm,
+        "cesrm" => harness::Protocol::Cesrm(harness::scale_cesrm_config()),
+        other => {
+            eprintln!("unknown protocol {other:?} (use srm or cesrm)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `VmHWM` from `/proc/self/status` in bytes — the process peak resident
+/// set. Returns 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Runs one rung in this process and returns its outcome. Peak RSS is the
+/// whole process's high-water mark, which is why `scale` runs each rung in
+/// a child process by default — RSS is monotone and would otherwise carry
+/// over from earlier, larger rungs.
+fn run_rung_in_process(cfg: &harness::ScaleConfig) -> RungOutcome {
+    // simlint: allow(D002, reason = "per-rung wall-clock for the events/s figure; never feeds simulation state")
+    let started = std::time::Instant::now();
+    let r = harness::run_scale(cfg);
+    let wall_s = started.elapsed().as_secs_f64();
+    RungOutcome {
+        receivers: r.receivers,
+        shards: r.shards,
+        monitored: cfg.monitor && r.shards == 1,
+        violations: r.violations,
+        csv: r.csv_row(),
+        events: r.events,
+        detected: r.detected,
+        recovered: r.recovered,
+        unrecovered: r.unrecovered,
+        expedited: r.expedited,
+        mean_latency_ns: r.mean_latency_ns,
+        control_crossings: r.control_crossings,
+        state_bytes: r.state_bytes,
+        state_bytes_per_receiver: r.state_bytes_per_receiver(),
+        wall_s,
+        events_per_sec: if wall_s > 0.0 {
+            r.events as f64 / wall_s
+        } else {
+            0.0
+        },
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Hidden subcommand: runs one rung and prints its outcome as a single
+/// JSON line for the parent `scale` invocation to collect.
+fn scale_rung_main(argv: &[String]) {
+    let mut cfg = harness::ScaleConfig::rung(1000);
+    let mut protocol = String::from("cesrm");
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{what} requires an integer");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--receivers" => {
+                cfg.receivers = take("--receivers");
+                cfg.losses = harness::default_losses(cfg.receivers);
+            }
+            "--shards" => cfg.shards = take("--shards") as u32,
+            "--seed" => cfg.seed = take("--seed"),
+            "--packets" => cfg.packets = take("--packets"),
+            "--losses" => cfg.losses = take("--losses") as u32,
+            "--monitor" => cfg.monitor = true,
+            "--protocol" => {
+                protocol = args.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--protocol requires srm or cesrm");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown scale-rung argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.protocol = protocol_from_name(&protocol);
+    let o = run_rung_in_process(&cfg);
+    println!("{}", rung_json(&o, &protocol).to_string_compact());
+}
+
+fn rung_json(o: &RungOutcome, protocol: &str) -> obs::JsonValue {
+    use obs::JsonValue as J;
+    J::Obj(vec![
+        ("schema".into(), J::Str("cesrm-scale-rung/1".into())),
+        ("receivers".into(), J::Num(o.receivers as f64)),
+        ("shards".into(), J::Num(f64::from(o.shards))),
+        ("protocol".into(), J::Str(protocol.into())),
+        ("monitored".into(), J::Bool(o.monitored)),
+        (
+            "violations".into(),
+            o.violations.map_or(J::Null, |v| J::Num(v as f64)),
+        ),
+        ("csv".into(), J::Str(o.csv.clone())),
+        ("events".into(), J::Num(o.events as f64)),
+        ("detected".into(), J::Num(o.detected as f64)),
+        ("recovered".into(), J::Num(o.recovered as f64)),
+        ("unrecovered".into(), J::Num(o.unrecovered as f64)),
+        ("expedited".into(), J::Num(o.expedited as f64)),
+        ("mean_latency_ns".into(), J::Num(o.mean_latency_ns as f64)),
+        (
+            "control_crossings".into(),
+            J::Num(o.control_crossings as f64),
+        ),
+        ("state_bytes".into(), J::Num(o.state_bytes as f64)),
+        (
+            "state_bytes_per_receiver".into(),
+            J::Num(o.state_bytes_per_receiver as f64),
+        ),
+        ("wall_s".into(), J::Num(o.wall_s)),
+        ("events_per_sec".into(), J::Num(o.events_per_sec)),
+        ("peak_rss_bytes".into(), J::Num(o.peak_rss_bytes as f64)),
+    ])
+}
+
+fn rung_from_json(doc: &obs::JsonValue) -> Option<RungOutcome> {
+    let u = |k: &str| doc.get(k).and_then(obs::JsonValue::as_u64);
+    let f = |k: &str| doc.get(k).and_then(obs::JsonValue::as_f64);
+    Some(RungOutcome {
+        receivers: u("receivers")?,
+        shards: u("shards")? as u32,
+        monitored: matches!(doc.get("monitored"), Some(obs::JsonValue::Bool(true))),
+        violations: u("violations"),
+        csv: doc.get("csv")?.as_str()?.to_string(),
+        events: u("events")?,
+        detected: u("detected")?,
+        recovered: u("recovered")?,
+        unrecovered: u("unrecovered")?,
+        expedited: u("expedited")?,
+        mean_latency_ns: u("mean_latency_ns")?,
+        control_crossings: u("control_crossings")?,
+        state_bytes: u("state_bytes")?,
+        state_bytes_per_receiver: u("state_bytes_per_receiver")?,
+        wall_s: f("wall_s")?,
+        events_per_sec: f("events_per_sec")?,
+        peak_rss_bytes: u("peak_rss_bytes")?,
+    })
+}
+
+/// Runs one rung in a fresh child process (for an isolated peak-RSS
+/// reading) and parses its JSON line; falls back to in-process execution
+/// when spawning fails.
+fn run_rung(cfg: &harness::ScaleConfig, protocol: &str, in_process: bool) -> RungOutcome {
+    if !in_process {
+        if let Ok(exe) = std::env::current_exe() {
+            let mut cmd = std::process::Command::new(exe);
+            cmd.arg("scale-rung")
+                .arg("--receivers")
+                .arg(cfg.receivers.to_string())
+                .arg("--shards")
+                .arg(cfg.shards.to_string())
+                .arg("--seed")
+                .arg(cfg.seed.to_string())
+                .arg("--packets")
+                .arg(cfg.packets.to_string())
+                .arg("--losses")
+                .arg(cfg.losses.to_string())
+                .arg("--protocol")
+                .arg(protocol)
+                .stderr(std::process::Stdio::inherit());
+            if cfg.monitor {
+                cmd.arg("--monitor");
+            }
+            match cmd.output() {
+                Ok(out) if out.status.success() => {
+                    let text = String::from_utf8_lossy(&out.stdout);
+                    if let Some(parsed) = text
+                        .lines()
+                        .last()
+                        .and_then(|line| obs::JsonValue::parse(line).ok())
+                        .and_then(|doc| rung_from_json(&doc))
+                    {
+                        return parsed;
+                    }
+                    eprintln!("scale-rung child produced unparsable output; rerunning in-process");
+                }
+                Ok(out) => {
+                    eprintln!(
+                        "scale-rung child failed with {}; rerunning in-process",
+                        out.status
+                    );
+                }
+                Err(e) => eprintln!("failed to spawn scale-rung child ({e}); running in-process"),
+            }
+        }
+    }
+    run_rung_in_process(cfg)
+}
+
+/// Builds the `cesrm-bench/1` document for a scale sweep: deterministic
+/// per-rung rows plus the volatile wall-clock/throughput/RSS figures
+/// (`wall_s`, `events_per_sec` and `peak_rss_bytes` are in
+/// [`harness::VOLATILE_FIELDS`], so `bench_compare` strips them).
+fn scale_bench_doc(rungs: &[RungOutcome], protocol: &str, seed: u64) -> String {
+    use obs::JsonValue as J;
+    let num = |n: f64| J::Num(n);
+    let wall_s: f64 = rungs.iter().map(|r| r.wall_s).sum();
+    let events: u64 = rungs.iter().map(|r| r.events).sum();
+    let suite = J::Obj(vec![
+        ("mode".into(), J::Str("scale".into())),
+        ("protocol".into(), J::Str(protocol.into())),
+        ("seed".into(), num(seed as f64)),
+        (
+            "rungs".into(),
+            J::Arr(rungs.iter().map(|r| num(r.receivers as f64)).collect()),
+        ),
+    ]);
+    let totals = J::Obj(vec![
+        ("runs".into(), num(rungs.len() as f64)),
+        ("wall_s".into(), num(wall_s)),
+        ("events".into(), num(events as f64)),
+        (
+            "events_per_sec".into(),
+            num(if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            }),
+        ),
+    ]);
+    let scale = J::Arr(rungs.iter().map(|r| rung_json(r, protocol)).collect());
+    let doc = J::Obj(vec![
+        ("schema".into(), J::Str(harness::BENCH_SCHEMA.into())),
+        ("created".into(), J::Str(harness::utc_date_stamp())),
+        ("suite".into(), suite),
+        ("totals".into(), totals),
+        ("scale".into(), scale),
+    ]);
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    text
+}
+
+/// `reproduce scale`: sweeps 10³→10⁶ receivers on generated multi-level
+/// trees, monitors the small rungs, shards the large ones, and reports
+/// recovery latency, control overhead, per-receiver state, events/s and
+/// peak RSS per rung. See `docs/SCALING.md`.
+fn scale_main(argv: &[String]) {
+    let mut rungs: Vec<u64> = vec![1_000, 10_000, 100_000, 1_000_000];
+    let mut shards: Option<u32> = None;
+    let mut protocol = String::from("cesrm");
+    let mut seed: u64 = 7;
+    let mut packets: u64 = 12;
+    let mut csv_path: Option<std::path::PathBuf> = None;
+    let mut bench_path: Option<std::path::PathBuf> = None;
+    let mut check_identity_all = false;
+    let mut skip_identity = false;
+    let mut in_process = false;
+    let mut max_rss_mb: Option<u64> = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rungs" => {
+                let list = args.next().expect("--rungs requires e.g. 1000,10000");
+                rungs = list
+                    .split(',')
+                    .map(|t| t.parse().expect("rung receiver counts are integers"))
+                    .collect();
+            }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--shards requires a count"),
+                );
+            }
+            "--protocol" => {
+                protocol = args
+                    .next()
+                    .cloned()
+                    .expect("--protocol requires srm or cesrm");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--packets" => {
+                packets = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--packets requires a count");
+            }
+            "--csv" => {
+                csv_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--csv requires a path"),
+                ));
+            }
+            "--bench-report" => {
+                let path = args.next().expect("--bench-report requires a path or -");
+                bench_path = Some(if path == "-" {
+                    std::path::PathBuf::from(format!(
+                        "BENCH_SCALE_{}.json",
+                        harness::utc_date_stamp()
+                    ))
+                } else {
+                    std::path::PathBuf::from(path)
+                });
+            }
+            "--check-identity" => check_identity_all = true,
+            "--no-identity" => skip_identity = true,
+            "--in-process" => in_process = true,
+            "--max-rss-mb" => {
+                max_rss_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-rss-mb requires a size in MiB"),
+                );
+            }
+            other => {
+                eprintln!("unknown scale argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    protocol_from_name(&protocol); // validate early
+    rungs.sort_unstable();
+    rungs.dedup();
+    if rungs.is_empty() {
+        eprintln!("--rungs must name at least one receiver count");
+        std::process::exit(2);
+    }
+
+    // Monitors need the global event order, so monitored rungs (≤ 10⁴)
+    // run unsharded; the larger rungs fan out across worker shards.
+    let auto_shards = |receivers: u64| -> u32 {
+        if receivers <= 10_000 {
+            1
+        } else {
+            shards.unwrap_or_else(|| harness::default_parallelism().clamp(1, 8) as u32)
+        }
+    };
+
+    let mut outcomes: Vec<RungOutcome> = Vec::new();
+    let mut identity_failures = 0u32;
+    for (i, &receivers) in rungs.iter().enumerate() {
+        let mut cfg = harness::ScaleConfig::rung(receivers);
+        cfg.seed = seed;
+        cfg.packets = packets;
+        cfg.protocol = protocol_from_name(&protocol);
+        cfg.shards = auto_shards(receivers);
+        cfg.monitor = receivers <= 10_000;
+        eprintln!(
+            "scale rung {receivers}: shards {}, monitors {}...",
+            cfg.shards,
+            if cfg.monitor { "on" } else { "off" }
+        );
+        let outcome = run_rung(&cfg, &protocol, in_process);
+
+        // Determinism gate: the smallest rung (and with --check-identity
+        // every rung but the largest) reruns at a different shard count;
+        // the deterministic CSV row must be byte-identical.
+        let check_this = !skip_identity && (i == 0 || (check_identity_all && i + 1 < rungs.len()));
+        if check_this {
+            let mut alt = cfg;
+            alt.shards = if outcome.shards == 1 { 2 } else { 1 };
+            alt.monitor = false;
+            eprintln!(
+                "scale rung {receivers}: identity check at {} shard(s)...",
+                alt.shards
+            );
+            let alt_outcome = run_rung(&alt, &protocol, in_process);
+            if alt_outcome.csv == outcome.csv {
+                eprintln!(
+                    "scale rung {receivers}: byte-identical at {} vs {} shards",
+                    outcome.shards, alt_outcome.shards
+                );
+            } else {
+                eprintln!(
+                    "SHARD NONDETERMINISM at {receivers} receivers:\n  {} shards: {}\n  {} shards: {}",
+                    outcome.shards, outcome.csv, alt_outcome.shards, alt_outcome.csv
+                );
+                identity_failures += 1;
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    println!("Scaling sweep ({protocol}, seed {seed}, {packets} data packets):");
+    println!(
+        "{:>10} {:>7} {:>12} {:>12} {:>9} {:>10} {:>8} {:>12} {:>11} {:>10}",
+        "receivers",
+        "shards",
+        "events",
+        "events/s",
+        "wall s",
+        "rss MiB",
+        "B/recv",
+        "mean lat ms",
+        "recovered",
+        "violations"
+    );
+    for o in &outcomes {
+        println!(
+            "{:>10} {:>7} {:>12} {:>12.0} {:>9.2} {:>10.1} {:>8} {:>12.2} {:>11} {:>10}",
+            o.receivers,
+            o.shards,
+            o.events,
+            o.events_per_sec,
+            o.wall_s,
+            o.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            o.state_bytes_per_receiver,
+            o.mean_latency_ns as f64 / 1e6,
+            format!("{}/{}", o.recovered, o.detected),
+            o.violations
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+        );
+    }
+
+    if let Some(path) = &csv_path {
+        let mut text = String::from(harness::ScaleResult::csv_header());
+        text.push('\n');
+        for o in &outcomes {
+            text.push_str(&o.csv);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} deterministic rows to {}",
+            outcomes.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &bench_path {
+        let doc = scale_bench_doc(&outcomes, &protocol, seed);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote scale bench report to {}", path.display());
+    }
+
+    if let Some(budget) = max_rss_mb {
+        let limit = budget * 1024 * 1024;
+        for o in outcomes.iter().filter(|o| o.peak_rss_bytes > limit) {
+            eprintln!(
+                "RSS BUDGET EXCEEDED: rung {} peaked at {:.1} MiB (budget {budget} MiB)",
+                o.receivers,
+                o.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        if outcomes.iter().any(|o| o.peak_rss_bytes > limit) {
+            std::process::exit(3);
+        }
+    }
+    if identity_failures > 0 {
+        eprintln!("SHARD NONDETERMINISM: {identity_failures} rung(s) differed across shard counts");
+        std::process::exit(1);
+    }
+    let violations: u64 = outcomes.iter().filter_map(|o| o.violations).sum();
+    if violations > 0 {
+        eprintln!("INVARIANT VIOLATIONS: {violations} across monitored rungs");
+        std::process::exit(4);
+    }
+    let unrecovered: u64 = outcomes.iter().map(|o| o.unrecovered).sum();
+    if unrecovered > 0 {
+        eprintln!("UNRECOVERED LOSSES: {unrecovered} (drain too short for this configuration?)");
         std::process::exit(4);
     }
 }

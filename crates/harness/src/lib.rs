@@ -37,6 +37,15 @@
 //! writes a machine-readable health report ([`health`], schema
 //! `cesrm-health/1` in `docs/MONITORS.md`) and exits non-zero on any
 //! invariant violation.
+//!
+//! Beyond the paper's 12-receiver traces, the [`scale`] module runs the
+//! same protocols on 10³–10⁶-receiver trees (`reproduce scale`):
+//! [`ScaleConfig`] describes a rung, [`run_scale`] executes it —
+//! optionally sharded across worker threads with byte-identical output at
+//! any shard count ([`build_assignment`] partitions the root subtrees) —
+//! and [`ScaleResult`] carries recovery, traffic, footprint and (on
+//! unsharded rungs) invariant-monitor outcomes. Model and measured
+//! footprints: `docs/SCALING.md`.
 
 pub mod bench_report;
 mod csv;
@@ -44,6 +53,7 @@ mod experiment;
 pub mod health;
 mod render;
 pub mod runner;
+pub mod scale;
 mod suite;
 mod sweep;
 pub mod tracing;
@@ -58,6 +68,10 @@ pub use experiment::{
 };
 pub use health::{health_json, health_text, write_health, HEALTH_SCHEMA};
 pub use runner::{default_parallelism, resolve_jobs, run_indexed, RunTiming, SuiteTiming};
+pub use scale::{
+    build_assignment, default_losses, run_scale, scale_cesrm_config, scale_srm_params, ScaleConfig,
+    ScaleLoss, ScaleResult,
+};
 pub use suite::{
     run_suite, run_suites, RunEventLog, RunHealth, RunProfile, SuiteConfig, SuiteResult, TracePair,
 };

@@ -1,0 +1,822 @@
+//! Sharded single-simulation runner for million-receiver topologies.
+//!
+//! The reproduction suite ([`crate::run_suite`]) parallelizes across
+//! *independent* simulations; this module parallelizes *one* simulation of
+//! a [`topology::scale_tree`] across worker threads, so the 10³→10⁶
+//! receiver sweep of `reproduce scale` finishes in minutes instead of
+//! hours. The partitioning and the determinism argument (documented in
+//! `docs/SCALING.md`) are:
+//!
+//! - **Root-cut sharding.** Every subtree hanging off the root is owned
+//!   wholly by one shard (greedy min-load binning by receiver count, in
+//!   deterministic order); the root itself lives on shard 0. The only
+//!   links crossing shards are therefore the root's own links.
+//! - **Conservative lookahead.** All cut links have positive delay, so a
+//!   packet sent during epoch `[kL, (k+1)L)` — `L` being the minimum
+//!   cut-link delay — arrives no earlier than `(k+1)L`. Each shard runs
+//!   one epoch, exchanges cross-shard packets at a barrier (drained in
+//!   shard order, the same slot-merge discipline the suite runner uses),
+//!   and repeats. The epoch count is fixed up front from the simulation
+//!   horizon, so no termination consensus is needed.
+//! - **Per-node event keys.** Sharded simulators run in the simulator's
+//!   scale-determinism mode: every event is keyed `(time, owner-node,
+//!   per-node counter)` and randomness is drawn from per-node streams,
+//!   which makes the event total order independent of how nodes are
+//!   distributed over shards. Results are byte-identical at any shard
+//!   count (asserted by `identical_results_at_any_shard_count` below and
+//!   gated by `reproduce scale`'s identity check).
+//!
+//! Protocol state stays O(active losses) per receiver: receivers run with
+//! session messages disabled (all-to-all session exchange is O(N²) traffic
+//! and O(N) per-member state) and their distance to the source pre-seeded
+//! from the topology's true path delay; only the source multicasts session
+//! messages, which is what tail-loss detection needs.
+
+use std::cell::RefCell;
+use std::mem;
+use std::rc::Rc;
+use std::sync::{Arc, Barrier, Mutex};
+
+use cesrm::{CesrmAgent, CesrmConfig};
+use metrics::{PacketKind, RecoveryLog, RecoveryRecord, TrafficCollector};
+use netsim::{
+    CrossShardPacket, LossProcess, NetConfig, Packet, PacketBody, SimDuration, SimTime, Simulator,
+};
+use rand::rngs::StdRng;
+use srm::{SourceConfig, SrmAgent, SrmParams};
+use topology::{scale_tree, LinkId, MulticastTree, NodeId, ScaleShape, ScaleTree};
+
+use crate::Protocol;
+
+/// SRM parameters for scale runs: the paper's §4.3 settings with a 2 s
+/// session period (the 1 s default doubles the per-flood event volume at
+/// 10⁶ receivers for no measurement benefit).
+pub fn scale_srm_params() -> SrmParams {
+    SrmParams {
+        session_period: SimDuration::from_secs(2),
+        ..SrmParams::paper_default()
+    }
+}
+
+/// CESRM configuration for scale runs ([`scale_srm_params`] underneath).
+pub fn scale_cesrm_config() -> CesrmConfig {
+    CesrmConfig {
+        srm: scale_srm_params(),
+        ..CesrmConfig::paper_default()
+    }
+}
+
+/// Widens a parameter set's `default_distance` to 1 s for scale-mode
+/// *receivers*. With sessions disabled, holders have no distance estimate
+/// to a requestor and would all draw reply timers from the same
+/// `[D1·100ms, (D1+D2)·100ms]` default window — an O(group size) reply
+/// implosion (measured: ~440 replies per loss at 10³ receivers). Backing
+/// distance-less hosts off to a 1 s-based window while the source keeps
+/// the standard default means the source's reply arrives long before any
+/// receiver window opens and suppresses the whole group.
+fn widen_receiver_default(params: SrmParams) -> SrmParams {
+    SrmParams {
+        default_distance: SimDuration::from_secs(1),
+        ..params
+    }
+}
+
+/// Deterministic loss count for a rung: one loss per 4096 receivers,
+/// clamped to `[4, 16]` — enough recoveries to measure, bounded so the
+/// request/reply floods stay a small fraction of the data traffic.
+pub fn default_losses(receivers: u64) -> u32 {
+    (receivers / 4096).clamp(4, 16) as u32
+}
+
+/// One rung of the scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Target receiver count; the generated tree has at least this many
+    /// (exactly this many for powers of ten — see
+    /// [`ScaleShape::with_target_receivers`]).
+    pub receivers: u64,
+    /// Topology seed ([`scale_tree`]).
+    pub seed: u64,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Worker shards; clamped to the number of root subtrees. `1` runs
+    /// unsharded (required for monitors, which need the global event
+    /// order).
+    pub shards: u32,
+    /// Data packets multicast by the source.
+    pub packets: u64,
+    /// Inter-packet period.
+    pub period: SimDuration,
+    /// Quiet time before the first data packet.
+    pub warmup: SimDuration,
+    /// Simulated time after the last data packet for outstanding
+    /// recoveries.
+    pub drain: SimDuration,
+    /// Losses to inject (each drops one data packet on one receiver's
+    /// access link, receivers evenly strided across the group).
+    pub losses: u32,
+    /// Attach the I1–I6 invariant monitors (only honoured at `shards: 1`).
+    pub monitor: bool,
+}
+
+impl ScaleConfig {
+    /// The sweep's default settings for one rung (CESRM, seed 7, 12 data
+    /// packets at 100 ms, monitors off).
+    pub fn rung(receivers: u64) -> Self {
+        ScaleConfig {
+            receivers,
+            seed: 7,
+            protocol: Protocol::Cesrm(scale_cesrm_config()),
+            shards: 1,
+            packets: 12,
+            period: SimDuration::from_millis(100),
+            warmup: SimDuration::from_secs(2),
+            drain: SimDuration::from_secs(10),
+            losses: default_losses(receivers),
+            monitor: false,
+        }
+    }
+
+    /// End of simulated time: warmup, the data transmission, then drain.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO
+            + self.warmup
+            + SimDuration::from_nanos(self.period.as_nanos() * self.packets)
+            + self.drain
+    }
+}
+
+/// Everything one rung measures that is a pure function of the
+/// configuration — byte-identical at any shard count (`shards` itself and
+/// `violations` are carried for reporting but excluded from
+/// [`ScaleResult::csv_row`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleResult {
+    /// Receivers in the generated tree.
+    pub receivers: u64,
+    /// Total tree nodes.
+    pub nodes: u64,
+    /// Tree links.
+    pub links: u64,
+    /// Shard count this result was produced with (not part of the
+    /// deterministic row).
+    pub shards: u32,
+    /// Simulator events processed, summed over shards. The same events
+    /// pop exactly once regardless of which shard owns them, so the sum
+    /// is deterministic.
+    pub events: u64,
+    /// Losses detected.
+    pub detected: u64,
+    /// Losses recovered by the end of the run.
+    pub recovered: u64,
+    /// Recoveries won by the expedited (CESRM) path.
+    pub expedited: u64,
+    /// Losses never recovered.
+    pub unrecovered: u64,
+    /// Multicast repair requests sent (summed over records).
+    pub requests_sent: u64,
+    /// Mean detection→recovery latency over recovered losses, integer
+    /// nanoseconds.
+    pub mean_latency_ns: u64,
+    /// Slowest recovery, nanoseconds.
+    pub max_latency_ns: u64,
+    /// Link crossings by retransmissions (paper §4.4 overhead units).
+    pub retransmission_crossings: u64,
+    /// Link crossings by control traffic (requests, expedited requests).
+    pub control_crossings: u64,
+    /// Link crossings by session messages.
+    pub session_crossings: u64,
+    /// Link crossings by original data transmissions.
+    pub data_crossings: u64,
+    /// Summed per-agent protocol state estimate
+    /// ([`srm::SrmCore::state_bytes`]), bytes.
+    pub state_bytes: u64,
+    /// Invariant violations when monitored (`None` when monitors were
+    /// off; not part of the deterministic row).
+    pub violations: Option<u64>,
+    /// Every loss lifecycle, sorted by `(receiver, sequence number)`.
+    pub records: Vec<RecoveryRecord>,
+}
+
+impl ScaleResult {
+    /// Header for [`csv_row`](Self::csv_row).
+    pub fn csv_header() -> &'static str {
+        "receivers,nodes,links,events,detected,recovered,expedited,unrecovered,requests,\
+         mean_latency_ns,max_latency_ns,retx_crossings,control_crossings,session_crossings,\
+         data_crossings,state_bytes"
+    }
+
+    /// The deterministic results row: identical at any shard count for a
+    /// given [`ScaleConfig`] (shard count, monitor outcome, and all
+    /// wall-clock-derived figures are excluded by construction).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.receivers,
+            self.nodes,
+            self.links,
+            self.events,
+            self.detected,
+            self.recovered,
+            self.expedited,
+            self.unrecovered,
+            self.requests_sent,
+            self.mean_latency_ns,
+            self.max_latency_ns,
+            self.retransmission_crossings,
+            self.control_crossings,
+            self.session_crossings,
+            self.data_crossings,
+            self.state_bytes,
+        )
+    }
+
+    /// Protocol-state bytes per receiver (integer division; the flatness
+    /// of this figure across rungs is the O(active-losses) claim).
+    pub fn state_bytes_per_receiver(&self) -> u64 {
+        self.state_bytes.checked_div(self.receivers).unwrap_or(0)
+    }
+}
+
+/// Deterministic loss injection for scale runs: `losses` receivers, evenly
+/// strided across the (contiguous, BFS-last-level) receiver id range, each
+/// lose two data packets on their access link — an early one (sequence
+/// `k mod ⌊packets/3⌋`, detected through the ordinary sequence gap) and
+/// the final packet (detected only through the source's session reports).
+/// The shared tail loss lands after every early loss has recovered, so the
+/// recovery caches are warm and the cached expeditious requestor exercises
+/// CESRM's expedited unicast path.
+///
+/// Unlike [`netsim::TraceLoss`] this holds O(1) state — a trace bitmap
+/// indexed by link would cost megabytes at 10⁶ receivers — and never
+/// consumes the shared RNG, which sharded runs require (access links are
+/// never cut links, so every drop decision happens on the owning shard).
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleLoss {
+    first_receiver: u32,
+    stride: u32,
+    losses: u32,
+    packets: u64,
+}
+
+impl ScaleLoss {
+    /// Plans drops over the receiver id range
+    /// `[first_receiver, first_receiver + receivers)` of a source
+    /// transmitting `packets` data packets: `losses` strided receivers,
+    /// two lost packets each.
+    pub fn new(first_receiver: u32, receivers: u64, losses: u32, packets: u64) -> Self {
+        let losses = u64::from(losses).min(receivers) as u32;
+        let stride = if losses == 0 {
+            1
+        } else {
+            (receivers / u64::from(losses)).max(1) as u32
+        };
+        ScaleLoss {
+            first_receiver,
+            stride,
+            losses,
+            packets: packets.max(1),
+        }
+    }
+
+    /// The two sequence numbers the `k`-th strided receiver loses (equal
+    /// when `packets == 1`).
+    fn seqs_for(&self, k: u32) -> (u64, u64) {
+        let third = (self.packets / 3).max(1);
+        (u64::from(k) % third, self.packets - 1)
+    }
+
+    /// The `(receiver, sequence number)` pairs this plan will drop, in
+    /// receiver order.
+    pub fn planned(&self) -> Vec<(NodeId, u64)> {
+        let mut out = Vec::new();
+        for k in 0..self.losses {
+            let node = NodeId(self.first_receiver + k * self.stride);
+            let (early, tail) = self.seqs_for(k);
+            out.push((node, early));
+            if tail != early {
+                out.push((node, tail));
+            }
+        }
+        out
+    }
+}
+
+impl LossProcess for ScaleLoss {
+    fn should_drop(&mut self, link: LinkId, packet: &Packet, _rng: &mut StdRng) -> bool {
+        let PacketBody::Data { id } = &packet.body else {
+            return false;
+        };
+        let Some(idx) = link.0 .0.checked_sub(self.first_receiver) else {
+            return false;
+        };
+        if idx % self.stride != 0 || idx / self.stride >= self.losses {
+            return false;
+        }
+        let (early, tail) = self.seqs_for(idx / self.stride);
+        id.seq.value() == early || id.seq.value() == tail
+    }
+}
+
+/// Assigns every node to a shard: the root to shard 0, each root subtree
+/// wholly to one shard (greedy min-load binning by receiver count, largest
+/// subtrees placed first, ties broken by node id), descendants inheriting
+/// their parent's shard. Deterministic for a given tree and shard count.
+pub fn build_assignment(tree: &MulticastTree, shards: u16) -> Vec<u16> {
+    assert!(shards >= 1, "need at least one shard");
+    let mut assign = vec![0u16; tree.len()];
+    let mut tops: Vec<(NodeId, usize)> = tree
+        .children(tree.root())
+        .iter()
+        .map(|&c| (c, tree.receivers_below(c).len()))
+        .collect();
+    tops.sort_by_key(|&(c, size)| (std::cmp::Reverse(size), c));
+    let mut load = vec![0u64; usize::from(shards)];
+    for (c, size) in tops {
+        let bin = (0..usize::from(shards))
+            .min_by_key(|&b| (load[b], b))
+            .expect("at least one shard");
+        load[bin] += size.max(1) as u64;
+        assign[c.index()] = bin as u16;
+    }
+    // BFS ids put every parent before its children, so one forward pass
+    // propagates the subtree owner all the way down.
+    for i in 1..tree.len() {
+        let n = NodeId(i as u32);
+        let p = tree.parent(n).expect("non-root nodes have parents");
+        if p != tree.root() {
+            assign[i] = assign[p.index()];
+        }
+    }
+    assign
+}
+
+/// What one shard worker ships back to the coordinating thread. Protocol
+/// agents and the recovery log hold `Rc`-based trace handles and are not
+/// `Send`, so workers extract the plain-data measurements before exiting.
+struct ShardOutcome {
+    events: u64,
+    records: Vec<RecoveryRecord>,
+    traffic: TrafficCollector,
+    state_bytes: u64,
+    violations: Option<u64>,
+}
+
+/// Mailboxes for the barrier exchange, indexed `[destination][sender]` so
+/// receivers drain senders in shard order (slot-merge discipline).
+type Mailboxes = Vec<Vec<Mutex<Vec<CrossShardPacket>>>>;
+
+/// Generates the rung's topology and runs it, sharded across
+/// `cfg.shards` worker threads (clamped to the number of root subtrees).
+/// The returned measurements are byte-identical at any shard count.
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
+    let shape = ScaleShape::with_target_receivers(cfg.receivers);
+    let ScaleTree {
+        tree,
+        link_delay_ns,
+    } = scale_tree(cfg.seed, &shape);
+    assert!(cfg.packets > 0, "need at least one data packet");
+
+    let shards = (cfg.shards.max(1) as usize).min(tree.children(tree.root()).len().max(1));
+    let assign = Arc::new(build_assignment(&tree, shards as u16));
+    // All cut links are root links; their minimum delay bounds how soon a
+    // cross-shard packet can arrive after it was sent.
+    let lookahead_ns = tree
+        .children(tree.root())
+        .iter()
+        .map(|c| link_delay_ns[c.index()])
+        .min()
+        .expect("scale trees have at least one root subtree");
+    assert!(lookahead_ns > 0, "cut links must have positive delay");
+
+    let tree = Arc::new(tree);
+    let delays = Arc::new(link_delay_ns);
+    let barrier = Barrier::new(shards);
+    let mailboxes: Mailboxes = (0..shards)
+        .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|me| {
+                let tree = Arc::clone(&tree);
+                let delays = Arc::clone(&delays);
+                let assign = Arc::clone(&assign);
+                let barrier = &barrier;
+                let mailboxes = &mailboxes;
+                scope.spawn(move || {
+                    run_shard(
+                        cfg,
+                        &tree,
+                        &delays,
+                        &assign,
+                        me as u16,
+                        shards,
+                        lookahead_ns,
+                        barrier,
+                        mailboxes,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut events = 0u64;
+    let mut state_bytes = 0u64;
+    let mut records: Vec<RecoveryRecord> = Vec::new();
+    let mut traffic = TrafficCollector::new();
+    let mut violations: Option<u64> = None;
+    for o in outcomes {
+        events += o.events;
+        state_bytes += o.state_bytes;
+        records.extend(o.records);
+        traffic.merge(o.traffic);
+        if let Some(v) = o.violations {
+            violations = Some(violations.unwrap_or(0) + v);
+        }
+    }
+    records.sort_by_key(|r| (r.receiver, r.id.seq.value()));
+
+    let detected = records.len() as u64;
+    let recovered = records.iter().filter(|r| r.recovered_at.is_some()).count() as u64;
+    let expedited = records
+        .iter()
+        .filter(|r| r.expedited && r.recovered_at.is_some())
+        .count() as u64;
+    let requests_sent = records.iter().map(|r| u64::from(r.requests_sent)).sum();
+    let mut latency_sum: u128 = 0;
+    let mut max_latency_ns = 0u64;
+    for r in &records {
+        if let Some(l) = r.latency() {
+            latency_sum += u128::from(l.as_nanos());
+            max_latency_ns = max_latency_ns.max(l.as_nanos());
+        }
+    }
+    let mean_latency_ns = if recovered > 0 {
+        (latency_sum / u128::from(recovered)) as u64
+    } else {
+        0
+    };
+    let overhead = traffic.overhead();
+
+    ScaleResult {
+        receivers: tree.receivers().len() as u64,
+        nodes: tree.len() as u64,
+        links: (tree.len() - 1) as u64,
+        shards: shards as u32,
+        events,
+        detected,
+        recovered,
+        expedited,
+        unrecovered: detected - recovered,
+        requests_sent,
+        mean_latency_ns,
+        max_latency_ns,
+        retransmission_crossings: overhead.retransmissions,
+        control_crossings: overhead.control_total(),
+        session_crossings: overhead.sessions,
+        data_crossings: traffic.crossings_any_cast(PacketKind::Data),
+        state_bytes,
+        violations,
+        records,
+    }
+}
+
+/// Sums the per-link delays along the root→`node` path.
+fn path_delay_ns(tree: &MulticastTree, delays: &[u64], node: NodeId) -> u64 {
+    let mut total = 0u64;
+    let mut cur = node;
+    while let Some(p) = tree.parent(cur) {
+        total += delays[cur.index()];
+        cur = p;
+    }
+    total
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    cfg: &ScaleConfig,
+    tree: &Arc<MulticastTree>,
+    delays: &[u64],
+    assign: &Arc<Vec<u16>>,
+    me: u16,
+    shards: usize,
+    lookahead_ns: u64,
+    barrier: &Barrier,
+    mailboxes: &Mailboxes,
+) -> ShardOutcome {
+    let router_assist = matches!(cfg.protocol, Protocol::Cesrm(c) if c.router_assist);
+    let net = NetConfig::default()
+        .with_seed(cfg.seed)
+        .with_router_assist(router_assist);
+    let mut sim = Simulator::new_shared(Arc::clone(tree), net);
+    sim.enable_sharding(Arc::clone(assign), me);
+    for (i, &delay) in delays.iter().enumerate().skip(1) {
+        sim.set_link_delay(LinkId(NodeId(i as u32)), SimDuration::from_nanos(delay));
+    }
+    let receivers = tree.receivers().len() as u64;
+    let first_receiver = (tree.len() as u64 - receivers) as u32;
+    sim.set_loss(Box::new(ScaleLoss::new(
+        first_receiver,
+        receivers,
+        cfg.losses,
+        cfg.packets,
+    )));
+
+    let log = RecoveryLog::shared();
+    let collector = Rc::new(RefCell::new(TrafficCollector::new()));
+    sim.set_observer(Box::new(Rc::clone(&collector)));
+    // Monitors replay the structured event stream and assume the global
+    // event order, which only the unsharded runner produces.
+    let monitored = cfg.monitor && shards == 1;
+    let events_handle = if monitored {
+        obs::TraceHandle::off().with_monitors(obs::MonitorSet::standard())
+    } else {
+        obs::TraceHandle::off()
+    };
+    sim.set_trace(events_handle.clone());
+    log.borrow_mut().set_trace(events_handle.clone());
+
+    let source = tree.root();
+    let source_cfg = SourceConfig {
+        packets: cfg.packets,
+        period: cfg.period,
+        start_at: SimTime::ZERO + cfg.warmup,
+    };
+    if assign[source.index()] == me {
+        match cfg.protocol {
+            Protocol::Srm => sim.attach_agent(
+                source,
+                Box::new(
+                    SrmAgent::source(source, scale_srm_params(), source_cfg, log.clone())
+                        .with_trace(events_handle.clone()),
+                ),
+            ),
+            Protocol::Cesrm(ccfg) => sim.attach_agent(
+                source,
+                Box::new(
+                    CesrmAgent::source(source, ccfg, source_cfg, log.clone())
+                        .with_trace(events_handle.clone()),
+                ),
+            ),
+        }
+    }
+    for &r in tree.receivers() {
+        if assign[r.index()] != me {
+            continue;
+        }
+        let dist = SimDuration::from_nanos(path_delay_ns(tree, delays, r));
+        match cfg.protocol {
+            Protocol::Srm => {
+                let params = widen_receiver_default(scale_srm_params());
+                let mut a = SrmAgent::receiver(r, source, params, log.clone())
+                    .with_trace(events_handle.clone());
+                a.core_mut().set_sessions_enabled(false);
+                a.core_mut().seed_distance(source, dist);
+                sim.attach_agent(r, Box::new(a));
+            }
+            Protocol::Cesrm(ccfg) => {
+                let rcfg = CesrmConfig {
+                    srm: widen_receiver_default(ccfg.srm),
+                    ..ccfg
+                };
+                let mut a = CesrmAgent::receiver(r, source, rcfg, log.clone())
+                    .with_trace(events_handle.clone());
+                a.core_mut().set_sessions_enabled(false);
+                a.core_mut().seed_distance(source, dist);
+                sim.attach_agent(r, Box::new(a));
+            }
+        }
+    }
+
+    let horizon_ns = cfg.horizon().as_nanos();
+    if shards == 1 {
+        sim.run_until(SimTime::from_nanos(horizon_ns));
+    } else {
+        let mut epoch: u64 = 0;
+        loop {
+            let end = (epoch + 1).saturating_mul(lookahead_ns).min(horizon_ns + 1);
+            sim.run_until(SimTime::from_nanos(end - 1));
+            for p in sim.take_outbox() {
+                let dest = usize::from(assign[p.dest().index()]);
+                mailboxes[dest][usize::from(me)]
+                    .lock()
+                    .expect("mailbox lock poisoned")
+                    .push(p);
+            }
+            barrier.wait();
+            for slot in &mailboxes[usize::from(me)] {
+                let batch = mem::take(&mut *slot.lock().expect("mailbox lock poisoned"));
+                for p in batch {
+                    // A packet sent during the final epoch arrives past the
+                    // horizon — exactly the events an unsharded run leaves
+                    // unprocessed in its queue.
+                    if p.arrive_ns() <= horizon_ns {
+                        sim.inject_cross_shard(p);
+                    }
+                }
+            }
+            barrier.wait();
+            if end > horizon_ns {
+                break;
+            }
+            epoch += 1;
+        }
+    }
+
+    let violations = if monitored {
+        events_handle
+            .finish_monitors()
+            .map(|report| report.stats.violations)
+    } else {
+        None
+    };
+    let mut state_bytes = 0u64;
+    for i in 0..tree.len() {
+        if assign[i] != me {
+            continue;
+        }
+        let n = NodeId(i as u32);
+        if let Some(a) = sim.agent_as::<SrmAgent>(n) {
+            state_bytes += a.state_bytes() as u64;
+        } else if let Some(a) = sim.agent_as::<CesrmAgent>(n) {
+            state_bytes += a.state_bytes() as u64;
+        }
+    }
+    let records: Vec<RecoveryRecord> = log.borrow().records().copied().collect();
+    let traffic = mem::replace(&mut *collector.borrow_mut(), TrafficCollector::new());
+    ShardOutcome {
+        events: sim.events_processed(),
+        records,
+        traffic,
+        state_bytes,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(receivers: u64, shards: u32) -> ScaleConfig {
+        ScaleConfig {
+            shards,
+            packets: 8,
+            ..ScaleConfig::rung(receivers)
+        }
+    }
+
+    #[test]
+    fn losses_are_injected_and_recovered() {
+        let r = run_scale(&small_cfg(100, 1));
+        assert_eq!(r.receivers, 100);
+        assert_eq!(
+            r.detected, 8,
+            "default plan injects 2 losses each at 4 strided receivers"
+        );
+        assert_eq!(r.unrecovered, 0, "all losses must recover within the drain");
+        assert!(r.mean_latency_ns > 0);
+        assert!(r.requests_sent >= 1 || r.expedited > 0);
+        assert!(r.state_bytes > 0);
+        // Each strided receiver appears exactly twice (early + tail loss).
+        let mut receivers: Vec<NodeId> = r.records.iter().map(|rec| rec.receiver).collect();
+        receivers.sort_unstable();
+        receivers.dedup();
+        assert_eq!(receivers.len(), 4, "4 distinct strided receivers");
+    }
+
+    #[test]
+    fn tail_losses_exercise_the_expedited_path() {
+        // By the time the shared tail loss is detected (via session
+        // reports), every early loss has recovered and populated the
+        // recovery caches; the cached expeditious requestor must then
+        // recover at least one tail loss via CESRM's expedited unicast.
+        let r = run_scale(&ScaleConfig {
+            shards: 1,
+            ..ScaleConfig::rung(100)
+        });
+        assert_eq!(r.unrecovered, 0);
+        assert!(
+            r.expedited > 0,
+            "warm caches must trigger expedited recovery on the tail loss"
+        );
+    }
+
+    #[test]
+    fn identical_results_at_any_shard_count() {
+        let one = run_scale(&small_cfg(100, 1));
+        for shards in [2u32, 3, 4] {
+            let many = run_scale(&small_cfg(100, shards));
+            assert_eq!(many.shards, shards, "rung has 10 root subtrees");
+            assert_eq!(one.csv_row(), many.csv_row(), "at {shards} shards");
+            assert_eq!(one.records, many.records, "at {shards} shards");
+            assert_eq!(one.events, many.events, "at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn srm_rung_is_deterministic_and_recovers() {
+        let cfg = ScaleConfig {
+            protocol: Protocol::Srm,
+            ..small_cfg(100, 2)
+        };
+        let a = run_scale(&cfg);
+        let b = run_scale(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.unrecovered, 0);
+        assert_eq!(a.expedited, 0, "plain SRM has no expedited path");
+    }
+
+    #[test]
+    fn monitors_run_clean_on_the_small_rung() {
+        let cfg = ScaleConfig {
+            monitor: true,
+            ..small_cfg(100, 1)
+        };
+        let r = run_scale(&cfg);
+        assert_eq!(r.violations, Some(0), "I1–I6 must hold");
+    }
+
+    #[test]
+    fn monitors_are_skipped_when_sharded() {
+        let cfg = ScaleConfig {
+            monitor: true,
+            ..small_cfg(100, 2)
+        };
+        assert_eq!(run_scale(&cfg).violations, None);
+    }
+
+    #[test]
+    fn assignment_is_a_root_cut() {
+        let ScaleTree { tree, .. } = scale_tree(7, &ScaleShape::with_target_receivers(100));
+        let assign = build_assignment(&tree, 3);
+        assert_eq!(assign[0], 0, "root lives on shard 0");
+        for i in 1..tree.len() {
+            let n = NodeId(i as u32);
+            let p = tree.parent(n).unwrap();
+            if p != tree.root() {
+                assert_eq!(assign[i], assign[p.index()], "only root links are cut");
+            }
+        }
+        let mut used: Vec<u16> = assign.to_vec();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used, vec![0, 1, 2], "all shards get work");
+    }
+
+    #[test]
+    fn scale_loss_drops_only_the_planned_pairs() {
+        let loss = ScaleLoss::new(11, 100, 4, 8);
+        let planned = loss.planned();
+        assert_eq!(planned.len(), 8, "two drops per strided receiver");
+        let mut receivers: Vec<u32> = planned.iter().map(|(n, _)| n.0).collect();
+        receivers.dedup();
+        assert_eq!(receivers.len(), 4, "distinct receivers");
+        assert!(receivers.iter().all(|&n| (11..111).contains(&n)));
+        // Every strided receiver loses the final packet (tail loss).
+        assert_eq!(
+            planned.iter().filter(|&&(_, seq)| seq == 7).count(),
+            4,
+            "shared tail loss on every strided receiver"
+        );
+        // Re-checking should_drop against the plan, for all (link, seq).
+        let mut l = loss;
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        for node in 0..130u32 {
+            for seq in 0..8u64 {
+                let pkt = Packet {
+                    origin: NodeId(0),
+                    cast: netsim::CastClass::Multicast,
+                    body: PacketBody::Data {
+                        id: netsim::PacketId {
+                            source: NodeId(0),
+                            seq: netsim::SeqNo(seq),
+                        },
+                    },
+                };
+                let dropped = l.should_drop(LinkId(NodeId(node)), &pkt, &mut rng);
+                let in_plan = planned.contains(&(NodeId(node), seq));
+                assert_eq!(dropped, in_plan, "node {node} seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_bytes_per_receiver_stays_flat_across_rungs() {
+        // The O(active-losses) claim at test scale: growing the group 10×
+        // must not grow per-receiver state (sparse structures only hold
+        // the few active losses, not per-member entries).
+        let small = run_scale(&small_cfg(100, 1));
+        let large = run_scale(&small_cfg(1000, 2));
+        let per_small = small.state_bytes_per_receiver();
+        let per_large = large.state_bytes_per_receiver();
+        assert!(
+            per_large <= per_small + per_small / 4,
+            "bytes/receiver grew from {per_small} to {per_large}"
+        );
+    }
+}

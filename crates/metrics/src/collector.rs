@@ -1,3 +1,4 @@
+use std::collections::BTreeMap;
 use std::fmt;
 
 use netsim::{CastClass, Direction, Packet, PacketBody, SimObserver, SimTime};
@@ -99,17 +100,19 @@ const CAST_COUNT: usize = 3;
 /// A [`SimObserver`] that counts packet sends per node and link crossings
 /// per packet kind and cast mode.
 ///
-/// Counters are dense arrays indexed by `(node, kind)` and `(kind, cast)`:
-/// the observer sits on the per-crossing hot path, and integer-indexed
-/// bumps replace the former `BTreeMap` entry lookups. All aggregates are
-/// exact `u64` sums, so accumulation order cannot perturb results and
-/// byte-for-byte reproducibility across processes and worker threads is
-/// preserved.
+/// Crossing counters are a dense `(kind, cast)` array: the observer sits on
+/// the per-crossing hot path, and integer-indexed bumps replace the former
+/// `BTreeMap` entry lookups. Per-node send counters are sparse (only nodes
+/// that actually sent own a row — a dense per-node table would scale with
+/// group size at the million-receiver rungs, and sends are orders of
+/// magnitude rarer than crossings, so the map lookup is off the hot path).
+/// All aggregates are exact `u64` sums, so accumulation order cannot
+/// perturb results and byte-for-byte reproducibility across processes and
+/// worker threads is preserved.
 #[derive(Clone, Default, Debug)]
 pub struct TrafficCollector {
-    /// `sends[node][kind]`: packets of `kind` sent by `node`; grown on
-    /// demand to the highest sending node id.
-    sends: Vec<[u64; KIND_COUNT]>,
+    /// `sends[node][kind]`: packets of `kind` sent by `node`.
+    sends: BTreeMap<u32, [u64; KIND_COUNT]>,
     /// `crossings[kind][cast]`: link crossings of `kind` under `cast`.
     crossings: [[u64; CAST_COUNT]; KIND_COUNT],
     drops: u64,
@@ -123,14 +126,30 @@ impl TrafficCollector {
 
     /// Number of packets of `kind` sent by `node`.
     pub fn sends_by(&self, node: NodeId, kind: PacketKind) -> u64 {
-        self.sends
-            .get(node.0 as usize)
-            .map_or(0, |row| row[kind as usize])
+        self.sends.get(&node.0).map_or(0, |row| row[kind as usize])
     }
 
     /// Total packets of `kind` sent by any node.
     pub fn total_sends(&self, kind: PacketKind) -> u64 {
-        self.sends.iter().map(|row| row[kind as usize]).sum()
+        self.sends.values().map(|row| row[kind as usize]).sum()
+    }
+
+    /// Folds `other`'s counters into this collector, elementwise. Counters
+    /// are exact sums, so the merge is order-insensitive — the sharded
+    /// runner combines its per-shard collectors this way.
+    pub fn merge(&mut self, other: TrafficCollector) {
+        for (node, row) in other.sends {
+            let mine = self.sends.entry(node).or_insert([0; KIND_COUNT]);
+            for (m, v) in mine.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for (mine, theirs) in self.crossings.iter_mut().zip(other.crossings) {
+            for (m, v) in mine.iter_mut().zip(theirs) {
+                *m += v;
+            }
+        }
+        self.drops += other.drops;
     }
 
     /// Total link crossings of `kind` under `cast`.
@@ -162,11 +181,8 @@ impl TrafficCollector {
 
 impl SimObserver for TrafficCollector {
     fn on_send(&mut self, _now: SimTime, node: NodeId, packet: &Packet) {
-        let idx = node.0 as usize;
-        if idx >= self.sends.len() {
-            self.sends.resize(idx + 1, [0; KIND_COUNT]);
-        }
-        self.sends[idx][PacketKind::of(packet) as usize] += 1;
+        let row = self.sends.entry(node.0).or_insert([0; KIND_COUNT]);
+        row[PacketKind::of(packet) as usize] += 1;
     }
 
     fn on_link_crossing(&mut self, _now: SimTime, _link: LinkId, _dir: Direction, packet: &Packet) {

@@ -1,5 +1,5 @@
 use std::cell::RefCell;
-
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use netsim::{PacketId, SimTime};
@@ -39,19 +39,22 @@ impl RecoveryRecord {
 /// earliest detection and the earliest recovery win, later duplicates are
 /// ignored.
 ///
-/// Records are stored per receiver (dense-indexed by node id) in `PacketId`
-/// order, so iteration is in `(receiver, id)` order exactly as the former
+/// Records are stored per receiver (keyed by node id) in `PacketId` order,
+/// so iteration is in `(receiver, id)` order exactly as the former
 /// `BTreeMap<(NodeId, PacketId), _>` iterated: aggregates derived from the
 /// log are byte-for-byte reproducible across processes and worker threads,
 /// which the parallel suite runner relies on (`HashMap` iteration order
-/// would perturb float accumulation). Losses are detected in roughly
-/// ascending sequence order, so the sorted insert is almost always an
-/// append and lookups are binary searches over contiguous memory — the log
-/// sits on the loss-recovery hot path.
+/// would perturb float accumulation). The per-receiver map is sparse —
+/// only receivers that actually detected a loss own a row, so the log's
+/// footprint is O(active losses), not O(group size); at the million-receiver
+/// sweep rungs a dense per-node vector would dominate memory. Losses are
+/// detected in roughly ascending sequence order, so the sorted insert into
+/// a row is almost always an append and lookups are binary searches over
+/// contiguous memory — the log sits on the loss-recovery hot path.
 #[derive(Clone, Default, Debug)]
 pub struct RecoveryLog {
-    /// `records[receiver]` sorted ascending by [`RecoveryRecord::id`].
-    records: Vec<Vec<RecoveryRecord>>,
+    /// Per-receiver rows, each sorted ascending by [`RecoveryRecord::id`].
+    records: BTreeMap<u32, Vec<RecoveryRecord>>,
     /// Total record count across receivers.
     count: usize,
     /// Structured-event trace for per-loss provenance; off by default.
@@ -122,11 +125,7 @@ impl RecoveryLog {
     /// (the panics below) is what the orphan-repair and causality monitors
     /// (I2/I6, `docs/MONITORS.md`) check end-to-end on the event stream.
     pub fn on_detect(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
-        let idx = receiver.0 as usize;
-        if idx >= self.records.len() {
-            self.records.resize_with(idx + 1, Vec::new);
-        }
-        let row = &mut self.records[idx];
+        let row = self.records.entry(receiver.0).or_default();
         let fresh = match row.binary_search_by(|r| r.id.cmp(&id)) {
             Ok(_) => false,
             Err(pos) => {
@@ -207,7 +206,7 @@ impl RecoveryLog {
     /// reordering). No-op if no record exists or the loss already
     /// recovered (a recovery proves the loss was real).
     pub fn on_spurious(&mut self, receiver: NodeId, id: PacketId, now: SimTime) {
-        let Some(row) = self.records.get_mut(receiver.0 as usize) else {
+        let Some(row) = self.records.get_mut(&receiver.0) else {
             return;
         };
         if let Ok(pos) = row.binary_search_by(|r| r.id.cmp(&id)) {
@@ -227,13 +226,59 @@ impl RecoveryLog {
     /// `true` iff `receiver` has a record (i.e. detected the loss) for `id`.
     pub fn detected(&self, receiver: NodeId, id: PacketId) -> bool {
         self.records
-            .get(receiver.0 as usize)
+            .get(&receiver.0)
             .is_some_and(|row| row.binary_search_by(|r| r.id.cmp(&id)).is_ok())
     }
 
     /// All records, in ascending `(receiver, packet)` order.
     pub fn records(&self) -> impl Iterator<Item = &RecoveryRecord> {
-        self.records.iter().flatten()
+        self.records.values().flatten()
+    }
+
+    /// Folds `other` into this log. Rows for receivers present in only one
+    /// log move over wholesale; rows present in both are merged per record
+    /// with the log's usual first-win arbitration (earliest detection,
+    /// earliest recovery). The sharded runner uses this to combine the
+    /// per-shard logs — each receiver lives on exactly one shard, so the
+    /// merge there is a disjoint union and order-insensitive.
+    pub fn merge(&mut self, other: RecoveryLog) {
+        for (receiver, mut row) in other.records {
+            match self.records.entry(receiver) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    self.count += row.len();
+                    slot.insert(row);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    for rec in row.drain(..) {
+                        match mine.binary_search_by(|r| r.id.cmp(&rec.id)) {
+                            Err(pos) => {
+                                mine.insert(pos, rec);
+                                self.count += 1;
+                            }
+                            Ok(pos) => {
+                                let m = &mut mine[pos];
+                                if rec.detected_at < m.detected_at {
+                                    m.detected_at = rec.detected_at;
+                                }
+                                match (m.recovered_at, rec.recovered_at) {
+                                    (None, Some(_)) => {
+                                        m.recovered_at = rec.recovered_at;
+                                        m.expedited = rec.expedited;
+                                    }
+                                    (Some(a), Some(b)) if b < a => {
+                                        m.recovered_at = Some(b);
+                                        m.expedited = rec.expedited;
+                                    }
+                                    _ => {}
+                                }
+                                m.requests_sent += rec.requests_sent;
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Number of records (detected losses).
@@ -252,7 +297,7 @@ impl RecoveryLog {
     }
 
     fn record_mut(&mut self, receiver: NodeId, id: PacketId) -> Option<&mut RecoveryRecord> {
-        let row = self.records.get_mut(receiver.0 as usize)?;
+        let row = self.records.get_mut(&receiver.0)?;
         let pos = row.binary_search_by(|r| r.id.cmp(&id)).ok()?;
         Some(&mut row[pos])
     }
@@ -324,6 +369,27 @@ mod tests {
     fn recovery_requires_detection() {
         let mut log = RecoveryLog::new();
         log.on_recover(NodeId(2), pid(1), t(90), false);
+    }
+
+    #[test]
+    fn merge_disjoint_and_overlapping() {
+        let mut a = RecoveryLog::new();
+        a.on_detect(NodeId(2), pid(1), t(10));
+        a.on_recover(NodeId(2), pid(1), t(200), false);
+        let mut b = RecoveryLog::new();
+        b.on_detect(NodeId(3), pid(5), t(15));
+        // Overlapping row: earlier detection and earlier recovery must win.
+        b.on_detect(NodeId(2), pid(1), t(5));
+        b.on_recover(NodeId(2), pid(1), t(100), true);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        let rec = a.records().next().unwrap();
+        assert_eq!(rec.receiver, NodeId(2));
+        assert_eq!(rec.detected_at, t(5));
+        assert_eq!(rec.recovered_at, Some(t(100)));
+        assert!(rec.expedited);
+        assert!(a.detected(NodeId(3), pid(5)));
+        assert_eq!(a.unrecovered(), 1);
     }
 
     #[test]

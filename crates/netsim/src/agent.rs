@@ -131,6 +131,6 @@ impl Context<'_> {
     /// The simulation's deterministic random number generator.
     #[inline]
     pub fn rng(&mut self) -> &mut StdRng {
-        self.sim.rng()
+        self.sim.rng_at(self.node)
     }
 }

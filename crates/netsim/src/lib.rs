@@ -57,6 +57,21 @@
 //! the simulator then emits structured `sent`/`dropped`/`delivered` events
 //! for recovery-relevant packets (see `docs/TRACING.md`). With the default
 //! off-handle the call sites are zero-cost.
+//!
+//! # Sharded execution (million-node runs)
+//!
+//! One simulation can be partitioned across worker threads, each running a
+//! `Simulator` over the same shared tree ([`Simulator::new_shared`]) for a
+//! subset of nodes ([`Simulator::enable_sharding`]). Packets bound for a
+//! remote node surface in an outbox ([`Simulator::take_outbox`], as
+//! [`CrossShardPacket`]) and are injected on the owning shard
+//! ([`Simulator::inject_cross_shard`]); the harness exchanges them in
+//! conservative-lookahead epochs. Sharding implies *scale-determinism
+//! mode* ([`Simulator::enable_scale_determinism`]): events are keyed by
+//! `(time, owner node, per-node counter)` and every node draws from its
+//! own counted RNG stream, so event order — and therefore every result —
+//! is byte-identical at any shard count. The sharding model and
+//! determinism argument are documented in `docs/SCALING.md`.
 
 mod agent;
 mod arena;
@@ -78,6 +93,6 @@ pub use packet::{
     CastClass, Packet, PacketBody, PacketId, RecoveryTuple, SeqNo, SessionData, SessionEcho,
 };
 pub use queue::SchedulerKind;
-pub use sim::{scheduled_event_footprint_bytes, Simulator};
+pub use sim::{scheduled_event_footprint_bytes, CrossShardPacket, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use tracer::{EventTracer, TraceEvent, TraceEventKind};

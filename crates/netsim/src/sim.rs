@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +48,37 @@ enum PropMode {
     FloodDown,
 }
 
+/// A packet crossing between shards of a sharded simulation: everything the
+/// owning shard needs to reconstruct the arrival `Hop` event, including the
+/// event key drawn on the sending shard (per-node keys are layout-invariant,
+/// so the reconstructed event sorts exactly where the unsharded run would
+/// have placed it). Produced by [`Simulator::take_outbox`] on the sending
+/// shard and consumed by [`Simulator::inject_cross_shard`] on the owner.
+/// `Send`, so the sharded runner can move batches between worker threads.
+pub struct CrossShardPacket {
+    to: NodeId,
+    from: NodeId,
+    arrive_ns: u64,
+    seq: u64,
+    mode: PropMode,
+    turning_point: Option<NodeId>,
+    packet: Packet,
+}
+
+impl CrossShardPacket {
+    /// The node (on the receiving shard) this packet is headed to.
+    pub fn dest(&self) -> NodeId {
+        self.to
+    }
+
+    /// Arrival time in nanoseconds — always at least one cut-link delay in
+    /// the future of the epoch it was produced in, which is what makes the
+    /// conservative epoch barrier safe (see `docs/SCALING.md`).
+    pub fn arrive_ns(&self) -> u64 {
+        self.arrive_ns
+    }
+}
+
 /// A queued simulator event. `Hop` carries a copyable arena handle rather
 /// than a reference-counted packet: the event payload stays small and POD,
 /// and the packet body lives exactly once in the [`PacketArena`].
@@ -75,6 +108,10 @@ enum EventKind {
 pub fn scheduled_event_footprint_bytes() -> usize {
     std::mem::size_of::<Entry<EventKind>>()
 }
+
+/// Largest topology for which per-link drop counters are registered; see
+/// [`SimMetrics::new`].
+const PER_LINK_METRIC_CAP: usize = 4096;
 
 /// Per-link hot state, struct-of-arrays style: everything `transmit`
 /// touches per crossing sits in one 32-byte record indexed by the link's
@@ -135,9 +172,17 @@ impl SimMetrics {
             queue_depth: metrics.gauge("sim.queue.depth"),
             packets_forwarded: metrics.counter("sim.packets.forwarded"),
             packets_dropped: metrics.counter("sim.packets.dropped"),
-            link_dropped: (0..links)
-                .map(|i| metrics.counter(&format!("sim.link.{i}.dropped")))
-                .collect(),
+            // Per-link counters are a debugging aid for the paper-scale
+            // topologies; at the 10³–10⁶-receiver scale rungs registering a
+            // named counter per link would itself be O(group size) memory,
+            // so they are capped and the aggregate counter stands alone.
+            link_dropped: if links <= PER_LINK_METRIC_CAP {
+                (0..links)
+                    .map(|i| metrics.counter(&format!("sim.link.{i}.dropped")))
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -169,11 +214,29 @@ impl SimMetrics {
 /// dense struct-of-arrays and tree adjacency a CSR layout, so a flood hop
 /// touches contiguous memory and allocates nothing.
 pub struct Simulator {
-    tree: MulticastTree,
+    /// Shared so a sharded run's workers reference one tree instead of
+    /// cloning a million-node structure per shard.
+    tree: Arc<MulticastTree>,
     cfg: NetConfig,
     now: SimTime,
     queue: EventQueue<EventKind>,
     next_seq: u64,
+    /// Scale-determinism mode: per-node event-sequence counters. When
+    /// active, an event's key is `(owner_node << 32) | counter[owner]`
+    /// instead of the global `next_seq` — every push site has a natural
+    /// owner (`Start`/`Timer`: the node; `Hop`: the transmitting node), so
+    /// keys depend only on that node's own causal history and are identical
+    /// at any shard count. See `docs/SCALING.md`.
+    node_seq: Option<Vec<u32>>,
+    /// Scale-determinism mode: lazily-seeded per-node generators, so agent
+    /// randomness is a function of the node alone rather than of the global
+    /// interleaving (which sharding changes).
+    node_rngs: Option<Vec<Option<Box<StdRng>>>>,
+    /// Sharded mode: which shard each node lives on, and which one we are.
+    shard: Option<ShardView>,
+    /// Packets bound for nodes owned by other shards, drained by the
+    /// sharded runner at the epoch barrier.
+    outbox: Vec<CrossShardPacket>,
     next_timer: u64,
     /// Cancelled-timer bitset indexed by token. Tokens are sequential, so
     /// this stays dense; a set bit voids the pending `Timer` event.
@@ -202,10 +265,25 @@ pub struct Simulator {
     events_processed: u64,
 }
 
+/// Node-to-shard assignment view of one worker in a sharded run.
+struct ShardView {
+    /// `assign[node]` is the shard that owns the node.
+    assign: Arc<Vec<u16>>,
+    /// This simulator's shard id.
+    me: u16,
+}
+
 impl Simulator {
     /// Creates a simulator over `tree` with the given configuration, using
     /// the default calendar-queue scheduler.
     pub fn new(tree: MulticastTree, cfg: NetConfig) -> Self {
+        Simulator::new_shared(Arc::new(tree), cfg)
+    }
+
+    /// Like [`new`](Simulator::new), but sharing an existing tree handle —
+    /// the sharded runner builds one simulator per worker over the same
+    /// million-node tree without cloning it.
+    pub fn new_shared(tree: Arc<MulticastTree>, cfg: NetConfig) -> Self {
         let n = tree.len();
         let mut nbr_start = Vec::with_capacity(n + 1);
         let mut nbrs = Vec::new();
@@ -225,6 +303,10 @@ impl Simulator {
             now: SimTime::ZERO,
             queue: EventQueue::new(SchedulerKind::Calendar),
             next_seq: 0,
+            node_seq: None,
+            node_rngs: None,
+            shard: None,
+            outbox: Vec::new(),
             next_timer: 0,
             cancelled: Vec::new(),
             links: (0..n)
@@ -309,6 +391,118 @@ impl Simulator {
         self.loss = loss;
     }
 
+    /// Switches event keying and agent randomness to *scale-determinism
+    /// mode*: event keys become `(owner_node, per-node counter)` pairs and
+    /// [`Context::rng`](crate::Context::rng) draws from a per-node
+    /// generator seeded from `(config seed, node)`. Both are functions of a
+    /// node's own causal history only, never of the global interleaving —
+    /// the property that makes a sharded run byte-identical to the
+    /// unsharded one (`docs/SCALING.md`). A no-op if already enabled.
+    ///
+    /// The total event order changes from `(time, global counter)` to
+    /// `(time, node, counter)`, so runs in this mode are internally
+    /// deterministic but not comparable event-for-event with default-mode
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event was already scheduled or processed — enable the
+    /// mode on a fresh simulator, before attaching agents.
+    pub fn enable_scale_determinism(&mut self) {
+        if self.node_seq.is_some() {
+            return;
+        }
+        assert!(
+            self.next_seq == 0 && self.events_processed == 0 && self.queue.len() == 0,
+            "scale-determinism mode must be enabled before any events exist"
+        );
+        let n = self.tree.len();
+        self.node_seq = Some(vec![0; n]);
+        self.node_rngs = Some(vec![None; n]);
+    }
+
+    /// Makes this simulator one worker of a sharded run: `assign[node]`
+    /// names the owning shard of every node and `me` is this worker's
+    /// shard id. Implies [`Simulator::enable_scale_determinism`]. Packets
+    /// transmitted to nodes owned elsewhere are diverted to the outbox
+    /// ([`take_outbox`](Simulator::take_outbox)) instead of being enqueued;
+    /// agents must only be attached to owned nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` does not cover the tree, or if the configured
+    /// jitter is non-zero (jitter draws from the global generator on the
+    /// *sending* shard, which would break shard-count invariance).
+    pub fn enable_sharding(&mut self, assign: Arc<Vec<u16>>, me: u16) {
+        assert_eq!(
+            assign.len(),
+            self.tree.len(),
+            "shard map must cover the tree"
+        );
+        assert!(
+            self.cfg.jitter.is_zero(),
+            "sharded runs require zero link jitter"
+        );
+        self.enable_scale_determinism();
+        self.shard = Some(ShardView { assign, me });
+    }
+
+    /// Drains the packets bound for other shards that accumulated since the
+    /// last call. Empty unless [`enable_sharding`](Simulator::enable_sharding)
+    /// is active.
+    pub fn take_outbox(&mut self) -> Vec<CrossShardPacket> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Number of packets currently waiting in the cross-shard outbox.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Number of events pending in the scheduler queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a packet handed over from another shard, reconstructing the
+    /// arrival `Hop` under its original event key so it sorts exactly where
+    /// the unsharded run would have placed it. The sharded runner calls
+    /// this at the epoch barrier, in deterministic slot-merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if this shard does not own the destination node, or
+    /// if the arrival time is in this shard's past — the runner's epoch
+    /// lookahead (one minimum cut-link delay) is supposed to make that
+    /// impossible.
+    pub fn inject_cross_shard(&mut self, p: CrossShardPacket) {
+        debug_assert!(
+            self.shard
+                .as_ref()
+                .is_some_and(|s| s.assign[p.to.index()] == s.me),
+            "cross-shard packet injected on a non-owner shard"
+        );
+        debug_assert!(
+            p.arrive_ns >= self.now.as_nanos(),
+            "cross-shard packet arrived in the past: epoch lookahead violated"
+        );
+        let handle = self.arena.alloc();
+        self.arena.retain(handle);
+        self.push_with_seq(
+            p.arrive_ns,
+            p.seq,
+            EventKind::Hop {
+                at: p.to,
+                from: p.from,
+                handle,
+                mode: p.mode,
+                turning_point: p.turning_point,
+            },
+        );
+        self.arena.fill(handle, p.packet);
+        self.arena.release(handle);
+    }
+
     /// Read access to the agent at `node`, if any. Not available while that
     /// agent is being dispatched (it is temporarily detached).
     pub fn agent(&self, node: NodeId) -> Option<&dyn Agent> {
@@ -385,7 +579,7 @@ impl Simulator {
             "node {node} already has an agent"
         );
         self.agents[node.index()] = Some(agent);
-        self.push(self.now, EventKind::Start { node });
+        self.push(self.now, EventKind::Start { node }, node);
     }
 
     /// Delivers a crafted packet directly to the agent at `node`, as if it
@@ -490,12 +684,33 @@ impl Simulator {
         }
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    /// Draws the next event key charged to `owner`: the global counter by
+    /// default, or `(owner << 32) | counter[owner]` in scale-determinism
+    /// mode. In sharded runs the owner's counter advances on exactly one
+    /// shard (events are owned by the node that creates them), so the keys
+    /// — and with them the total event order — are layout-invariant.
+    fn alloc_seq(&mut self, owner: NodeId) -> u64 {
+        match &mut self.node_seq {
+            Some(counters) => {
+                let slot = &mut counters[owner.index()];
+                let seq = (u64::from(owner.0) << 32) | u64::from(*slot);
+                *slot = slot
+                    .checked_add(1)
+                    .expect("per-node event counter overflow");
+                seq
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                seq
+            }
+        }
+    }
+
+    fn push_with_seq(&mut self, at_ns: u64, seq: u64, kind: EventKind) {
         self.queue.push(
             Entry {
-                at: at.as_nanos(),
+                at: at_ns,
                 seq,
                 item: kind,
             },
@@ -504,12 +719,17 @@ impl Simulator {
         self.metrics.queue_depth.set(self.queue.len() as i64);
     }
 
+    fn push(&mut self, at: SimTime, kind: EventKind, owner: NodeId) {
+        let seq = self.alloc_seq(owner);
+        self.push_with_seq(at.as_nanos(), seq, kind);
+    }
+
     pub(crate) fn schedule_timer(&mut self, node: NodeId, after: SimDuration) -> TimerToken {
         let token = self.next_timer;
         self.next_timer += 1;
         self.metrics.timers_scheduled.inc();
         self.metrics.timer_delay_ns.record(after.as_nanos());
-        self.push(self.now + after, EventKind::Timer { node, token });
+        self.push(self.now + after, EventKind::Timer { node, token }, node);
         TimerToken(token)
     }
 
@@ -522,8 +742,22 @@ impl Simulator {
         self.cancelled[word] |= 1u64 << (token.0 % 64);
     }
 
-    pub(crate) fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+    /// The generator backing [`Context::rng`](crate::Context::rng) for the
+    /// agent at `node`: the global one by default, a lazily-seeded per-node
+    /// one in scale-determinism mode. Per-node seeding makes an agent's
+    /// draw sequence a function of its own event history, so it survives
+    /// resharding unchanged.
+    pub(crate) fn rng_at(&mut self, node: NodeId) -> &mut StdRng {
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(node.0) + 1));
+        match &mut self.node_rngs {
+            Some(rngs) => {
+                rngs[node.index()].get_or_insert_with(|| Box::new(StdRng::seed_from_u64(seed)))
+            }
+            None => &mut self.rng,
+        }
     }
 
     /// Emits a `sent` trace record for a packet entering the network.
@@ -703,9 +937,28 @@ impl Simulator {
             SimDuration::from_nanos(self.rng.gen_range(0..=self.cfg.jitter.as_nanos()))
         };
         let arrive = depart + base_delay + jitter;
+        // The hop event is owned by the transmitting node: its key must be
+        // drawn here, on the sender's shard, whether or not the destination
+        // is local — that is what keeps per-node counters layout-invariant.
+        let seq = self.alloc_seq(a);
+        if let Some(sh) = &self.shard {
+            if sh.assign[b.index()] != sh.me {
+                self.outbox.push(CrossShardPacket {
+                    to: b,
+                    from: a,
+                    arrive_ns: arrive.as_nanos(),
+                    seq,
+                    mode,
+                    turning_point,
+                    packet: packet.clone(),
+                });
+                return;
+            }
+        }
         self.arena.retain(handle);
-        self.push(
-            arrive,
+        self.push_with_seq(
+            arrive.as_nanos(),
+            seq,
             EventKind::Hop {
                 at: b,
                 from: a,

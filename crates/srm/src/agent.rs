@@ -89,6 +89,19 @@ impl SrmAgent {
         &self.core
     }
 
+    /// Mutable access to the protocol engine, for pre-run configuration in
+    /// scale mode ([`SrmCore::seed_distance`],
+    /// [`SrmCore::set_sessions_enabled`]).
+    pub fn core_mut(&mut self) -> &mut SrmCore {
+        &mut self.core
+    }
+
+    /// Estimated heap-resident protocol state in bytes (see
+    /// [`SrmCore::state_bytes`]).
+    pub fn state_bytes(&self) -> usize {
+        self.core.state_bytes()
+    }
+
     /// Builder-style installation of a structured-event trace handle (see
     /// the `obs` crate); tracing is off by default.
     pub fn with_trace(mut self, trace: obs::TraceHandle) -> Self {

@@ -14,6 +14,49 @@ use crate::timers::{FixedTimers, TimerPolicy};
 use crate::window::ReceivedSet;
 use crate::SrmParams;
 
+/// Ordered sparse map from node id to `V`: a sorted vector with binary
+/// search. Footprint is O(entries) like a `BTreeMap` — the property that
+/// keeps per-endpoint state off the group size at 10⁶ members
+/// (`docs/SCALING.md`) — but storage is contiguous, so the session hot
+/// path (one update per session message heard) stays a single cache-line
+/// touch for the typical already-present peer, and iteration is a linear
+/// scan in ascending id order (the order the former dense vector and the
+/// interim `BTreeMap` both produced, preserving byte-identical results).
+#[derive(Clone, Debug, Default)]
+struct NodeMap<V> {
+    entries: Vec<(NodeId, V)>,
+}
+
+impl<V> NodeMap<V> {
+    fn new() -> Self {
+        NodeMap {
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&self, node: NodeId) -> Option<&V> {
+        self.entries
+            .binary_search_by_key(&node, |probe| probe.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    fn insert(&mut self, node: NodeId, value: V) {
+        match self.entries.binary_search_by_key(&node, |probe| probe.0) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (node, value)),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (NodeId, &V)> {
+        self.entries.iter().map(|(n, v)| (*n, v))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// The SRM protocol engine (paper §2): session exchange, loss detection,
 /// request scheduling with suppression and back-off, and reply scheduling
 /// with suppression and abstinence.
@@ -45,12 +88,19 @@ pub struct SrmCore {
     losses: BTreeMap<u64, LossState>,
     replies: BTreeMap<u64, ReplyState>,
     timers: BTreeMap<TimerToken, TimerKind>,
-    /// Last session echo per peer, dense-indexed by node id. Index order is
-    /// node-id order, so session echoes are emitted exactly as the previous
-    /// `BTreeMap<NodeId, _>` iterated them.
-    peers: Vec<Option<PeerEcho>>,
-    /// One-way distance estimate per peer, dense-indexed by node id.
-    dist: Vec<Option<SimDuration>>,
+    /// Last session echo per peer, sized by the peers actually heard from,
+    /// not the group: at 10⁶ receivers a dense per-member vector per
+    /// endpoint would be O(N²) across the group.
+    peers: NodeMap<PeerEcho>,
+    /// One-way distance estimate per peer; sparse for the same reason.
+    dist: NodeMap<SimDuration>,
+    /// Whether this endpoint runs its own session timer. Scale-mode
+    /// receivers disable it (see [`set_sessions_enabled`]
+    /// (SrmCore::set_sessions_enabled)): with 10⁶ members the all-to-all
+    /// session exchange is O(N²) traffic, so only the source announces
+    /// `highest_seq` and receiver→source distances are seeded from the
+    /// topology instead.
+    sessions_enabled: bool,
     newly_detected: Vec<SeqNo>,
     default_distance_uses: u64,
     spurious_detections: u64,
@@ -117,8 +167,9 @@ impl SrmCore {
             losses: BTreeMap::new(),
             replies: BTreeMap::new(),
             timers: BTreeMap::new(),
-            peers: Vec::new(),
-            dist: Vec::new(),
+            peers: NodeMap::new(),
+            dist: NodeMap::new(),
+            sessions_enabled: true,
             newly_detected: Vec::new(),
             default_distance_uses: 0,
             spurious_detections: 0,
@@ -198,9 +249,28 @@ impl SrmCore {
         self.losses.contains_key(&seq.value())
     }
 
-    /// Estimated one-way distance to `peer` from session exchange.
+    /// Estimated one-way distance to `peer` from session exchange (or from
+    /// [`seed_distance`](SrmCore::seed_distance)).
     pub fn dist_to(&self, peer: NodeId) -> Option<SimDuration> {
-        self.dist.get(peer.0 as usize).copied().flatten()
+        self.dist.get(peer).copied()
+    }
+
+    /// Pre-seeds the one-way distance estimate to `peer`, as a session
+    /// exchange would have. Scale-mode runs use this to install the true
+    /// topology path delay to the source on every receiver, replacing the
+    /// all-to-all session estimation that is infeasible at 10⁶ members.
+    pub fn seed_distance(&mut self, peer: NodeId, d: SimDuration) {
+        self.dist.insert(peer, d);
+    }
+
+    /// Enables or disables this endpoint's own session timer (on by
+    /// default). Scale-mode receivers turn it off; tail-loss detection then
+    /// rides exclusively on the *source's* session reports, whose
+    /// `highest_seq` the receivers still consume in
+    /// [`on_packet`](SrmCore::on_packet). Must be called before
+    /// [`on_start`](SrmCore::on_start).
+    pub fn set_sessions_enabled(&mut self, on: bool) {
+        self.sessions_enabled = on;
     }
 
     /// Estimated one-way distance to the source, falling back to
@@ -281,10 +351,12 @@ impl SrmCore {
     /// one period to avoid fleet-wide synchronization) and, for the source,
     /// the data transmission.
     pub fn on_start(&mut self, ctx: &mut Context<'_>) {
-        let period = self.params.session_period;
-        let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..period.as_nanos().max(1)));
-        let tok = ctx.set_timer(jitter);
-        self.timers.insert(tok, TimerKind::Session);
+        if self.sessions_enabled {
+            let period = self.params.session_period;
+            let jitter = SimDuration::from_nanos(ctx.rng().gen_range(0..period.as_nanos().max(1)));
+            let tok = ctx.set_timer(jitter);
+            self.timers.insert(tok, TimerKind::Session);
+        }
         if let Role::Source(cfg) = self.role {
             let delay = cfg.start_at.saturating_since(ctx.now());
             let tok = ctx.set_timer(delay);
@@ -372,13 +444,10 @@ impl SrmCore {
         let echoes: Vec<SessionEcho> = self
             .peers
             .iter()
-            .enumerate()
-            .filter_map(|(peer, e)| {
-                e.as_ref().map(|e| SessionEcho {
-                    peer: NodeId(peer as u32),
-                    sent_at: e.sent_at,
-                    held_for: ctx.now().saturating_since(e.received_at),
-                })
+            .map(|(peer, e)| SessionEcho {
+                peer,
+                sent_at: e.sent_at,
+                held_for: ctx.now().saturating_since(e.received_at),
             })
             .collect();
         ctx.multicast(PacketBody::session_about(
@@ -540,14 +609,13 @@ impl SrmCore {
     }
 
     fn receive_session(&mut self, ctx: &mut Context<'_>, data: &SessionData) {
-        let member = data.member.0 as usize;
-        if member >= self.peers.len() {
-            self.peers.resize(member + 1, None);
-        }
-        self.peers[member] = Some(PeerEcho {
-            sent_at: data.sent_at,
-            received_at: ctx.now(),
-        });
+        self.peers.insert(
+            data.member,
+            PeerEcho {
+                sent_at: data.sent_at,
+                received_at: ctx.now(),
+            },
+        );
         for echo in &data.echoes {
             if echo.peer == self.me {
                 // d̂ = (now − our_send_time − peer_hold_time) / 2.
@@ -557,10 +625,7 @@ impl SrmCore {
                 } else {
                     SimDuration::ZERO
                 };
-                if member >= self.dist.len() {
-                    self.dist.resize(member + 1, None);
-                }
-                self.dist[member] = Some(rtt / 2);
+                self.dist.insert(data.member, rtt / 2);
             }
         }
         if let Some(h) = data.highest_seq {
@@ -737,13 +802,31 @@ impl SrmCore {
     }
 
     fn dist_or_default(&mut self, peer: NodeId) -> SimDuration {
-        match self.dist.get(peer.0 as usize).copied().flatten() {
+        match self.dist.get(peer).copied() {
             Some(d) => d,
             None => {
                 self.default_distance_uses += 1;
                 self.params.default_distance
             }
         }
+    }
+
+    /// Estimated heap-resident footprint of this endpoint's protocol state,
+    /// in bytes: the fixed struct plus every sparse collection weighted by
+    /// its entry size. Every collection here grows with *activity* (losses
+    /// outstanding, replies pending, peers actually heard from), never with
+    /// group size — the O(active-losses) property `docs/SCALING.md` charts
+    /// across the sweep rungs.
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.received.sparse_len() * size_of::<u64>()
+            + self.losses.len() * (size_of::<u64>() + size_of::<LossState>())
+            + self.replies.len() * (size_of::<u64>() + size_of::<ReplyState>())
+            + self.timers.len() * (size_of::<TimerToken>() + size_of::<TimerKind>())
+            + self.peers.len() * (size_of::<NodeId>() + size_of::<PeerEcho>())
+            + self.dist.len() * (size_of::<NodeId>() + size_of::<SimDuration>())
+            + self.newly_detected.len() * size_of::<SeqNo>()
     }
 
     fn pid(&self, seq: SeqNo) -> PacketId {

@@ -55,7 +55,6 @@ impl ReceivedSet {
     }
 
     /// Number of sparse (not yet compacted) entries — a memory gauge.
-    #[cfg(test)]
     pub fn sparse_len(&self) -> usize {
         self.above.len()
     }

@@ -14,6 +14,12 @@
 //! * [`random_tree`] — random trees with a prescribed receiver count and depth,
 //!   used to synthesize the Table-1 topologies of the paper, for which only
 //!   receiver count and tree depth are published.
+//! * [`scale_tree`] — multi-level trees of 10³–10⁶ receivers from a
+//!   [`ScaleShape`] (per-level fanout and delay distributions), deterministic
+//!   from a seed. Node ids are assigned breadth-first so sibling subtrees
+//!   occupy contiguous id ranges, which the sharded runner
+//!   (`docs/SCALING.md`) uses to partition the tree across workers. The
+//!   drawn per-link delays ride along in [`ScaleTree::link_delay_ns`].
 //!
 //! # Examples
 //!
@@ -36,10 +42,12 @@ mod builder;
 mod error;
 mod generate;
 mod node;
+mod scale;
 mod tree;
 
 pub use builder::TreeBuilder;
 pub use error::TreeError;
 pub use generate::{random_tree, TreeShape};
 pub use node::{LinkId, NodeId, NodeKind};
+pub use scale::{scale_tree, LevelSpec, ScaleShape, ScaleTree};
 pub use tree::MulticastTree;
