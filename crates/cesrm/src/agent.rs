@@ -70,6 +70,8 @@ pub struct CesrmAgent {
     /// by default (see the `obs` crate).
     trace: obs::TraceHandle,
     metrics: CesrmMetrics,
+    /// Self-profiler handle timing `on_packet`; off by default.
+    prof: obs::ProfHandle,
 }
 
 /// Pre-registered counters over the expedited layer: cache consult
@@ -145,6 +147,7 @@ impl CesrmAgent {
             pending: BTreeMap::new(),
             trace: obs::TraceHandle::off(),
             metrics: CesrmMetrics::default(),
+            prof: obs::ProfHandle::off(),
         }
     }
 
@@ -176,6 +179,15 @@ impl CesrmAgent {
         } else {
             CesrmMetrics::default()
         };
+        self
+    }
+
+    /// Builder-style installation of the per-run self-profiler handle:
+    /// every `on_packet` counts into the `cesrm_on_packet` phase (SRM
+    /// core plus the expedited layer), with one in `stride` calls
+    /// wall-clock timed (see `docs/PROFILING.md`). Off by default.
+    pub fn with_prof(mut self, prof: obs::ProfHandle) -> Self {
+        self.prof = prof;
         self
     }
 
@@ -343,6 +355,18 @@ impl Agent for CesrmAgent {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: &Packet, meta: &DeliveryMeta) {
+        let stamp = self.prof.begin(obs::Phase::CesrmOnPacket);
+        self.handle_packet(ctx, packet, meta);
+        self.prof.end(obs::Phase::CesrmOnPacket, stamp);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+        self.handle_timer(ctx, token);
+    }
+}
+
+impl CesrmAgent {
+    fn handle_packet(&mut self, ctx: &mut Context<'_>, packet: &Packet, meta: &DeliveryMeta) {
         self.core.on_packet(ctx, packet, meta);
         // New losses detected by this packet: try to expedite each.
         for seq in self.core.take_newly_detected() {
@@ -408,10 +432,6 @@ impl Agent for CesrmAgent {
             }
             _ => {}
         }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
-        self.handle_timer(ctx, token);
     }
 }
 

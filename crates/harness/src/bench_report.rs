@@ -39,6 +39,7 @@ pub const VOLATILE_FIELDS: &[&str] = &[
     "events_per_sec",
     "monitor_overhead",
     "peak_rss_bytes",
+    "profile",
 ];
 
 /// Regression thresholds for [`compare_reports`], in percent.
@@ -96,6 +97,23 @@ impl MonitorOverhead {
     pub fn within(&self, max_pct: f64, noise_floor_s: f64) -> bool {
         self.cpu_on_s - self.cpu_off_s <= noise_floor_s || self.overhead_pct() <= max_pct
     }
+}
+
+/// Headline numbers of a `cesrm-prof/1` self-profile, folded into the
+/// `totals.profile` member of the bench report (the full profile lives in
+/// its own document; see [`crate::prof_json`] and `docs/PROFILING.md`).
+/// The member is volatile: its figures derive from wall-clock samples.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ProfileTotals {
+    /// Sampling stride the profile was collected with.
+    pub stride: u64,
+    /// Hot-loop events the profiler ticked.
+    pub events: u64,
+    /// Percent of run wall-clock attributed to named phases.
+    pub attributed_pct: f64,
+    /// Profiler-on vs profiler-off timing, when measured (the same A/B
+    /// shape as the monitor-overhead audit).
+    pub overhead: Option<MonitorOverhead>,
 }
 
 /// The outcome of one baseline comparison.
@@ -191,6 +209,22 @@ pub fn bench_report_with(
     result: &SuiteResult,
     overhead: Option<&MonitorOverhead>,
 ) -> String {
+    bench_report_full(cfg, result, overhead, None)
+}
+
+/// [`bench_report_with`] plus the optional `cesrm-prof/1` headline in
+/// `totals.profile` (null when the run was not self-profiled; the member
+/// is always present and is volatile).
+///
+/// # Panics
+///
+/// Panics if `result` carries no profiles (see [`bench_report`]).
+pub fn bench_report_full(
+    cfg: &SuiteConfig,
+    result: &SuiteResult,
+    overhead: Option<&MonitorOverhead>,
+    profile: Option<&ProfileTotals>,
+) -> String {
     assert!(
         !result.profiles.is_empty(),
         "bench_report needs a suite run with collect_metrics set"
@@ -256,6 +290,28 @@ pub fn bench_report_with(
                     ("cpu_off_s", num(o.cpu_off_s)),
                     ("cpu_on_s", num(o.cpu_on_s)),
                     ("overhead_pct", num(o.overhead_pct())),
+                ])
+            }),
+        ),
+        (
+            "profile",
+            profile.map_or(JsonValue::Null, |p| {
+                obj(vec![
+                    ("stride", uint(p.stride)),
+                    ("events", uint(p.events)),
+                    ("attributed_pct", num(p.attributed_pct)),
+                    (
+                        "profiler_overhead",
+                        p.overhead.map_or(JsonValue::Null, |o| {
+                            obj(vec![
+                                ("wall_off_s", num(o.wall_off_s)),
+                                ("wall_on_s", num(o.wall_on_s)),
+                                ("cpu_off_s", num(o.cpu_off_s)),
+                                ("cpu_on_s", num(o.cpu_on_s)),
+                                ("overhead_pct", num(o.overhead_pct())),
+                            ])
+                        }),
+                    ),
                 ])
             }),
         ),
@@ -422,11 +478,31 @@ fn scrub(v: &mut JsonValue) {
     }
 }
 
-fn totals_field(doc: &JsonValue, field: &str) -> Result<f64, String> {
+fn totals_field(doc: &JsonValue, which: &str, field: &str) -> Result<f64, String> {
     doc.get("totals")
         .and_then(|t| t.get(field))
         .and_then(JsonValue::as_f64)
-        .ok_or_else(|| format!("report lacks totals.{field}"))
+        .ok_or_else(|| format!("{which} report lacks totals.{field}"))
+}
+
+/// Reads `totals.<field>` from both documents, turning a key that only
+/// the baseline is missing into an actionable diagnostic: committed
+/// baselines written by an older binary predate fields the current schema
+/// revision emits, and the fix is to regenerate them, not to debug the
+/// candidate.
+fn totals_pair(base: &JsonValue, cand: &JsonValue, field: &str) -> Result<(f64, f64), String> {
+    match (
+        totals_field(base, "baseline", field),
+        totals_field(cand, "candidate", field),
+    ) {
+        (Ok(b), Ok(c)) => Ok((b, c)),
+        (Err(_), Ok(_)) => Err(format!(
+            "baseline report lacks totals.{field} but the candidate has it — the baseline \
+             was written by an older revision of the {BENCH_SCHEMA} schema; regenerate it \
+             with the current binary (reproduce --bench-out <file>)"
+        )),
+        (Err(e), _) | (_, Err(e)) => Err(e),
+    }
 }
 
 /// Diffs `candidate` against `baseline` (both `cesrm-bench/1` documents)
@@ -452,8 +528,7 @@ pub fn compare_reports(
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
 
-    let base_events = totals_field(&base, "events")?;
-    let cand_events = totals_field(&cand, "events")?;
+    let (base_events, cand_events) = totals_pair(&base, &cand, "events")?;
     if base_events != cand_events {
         lines.push(format!(
             "note: deterministic event totals differ (baseline {base_events}, candidate \
@@ -462,8 +537,7 @@ pub fn compare_reports(
         ));
     }
 
-    let base_wall = totals_field(&base, "wall_s")?;
-    let cand_wall = totals_field(&cand, "wall_s")?;
+    let (base_wall, cand_wall) = totals_pair(&base, &cand, "wall_s")?;
     let wall_pct = if base_wall > 0.0 {
         (cand_wall - base_wall) / base_wall * 100.0
     } else {
@@ -481,8 +555,7 @@ pub fn compare_reports(
         ));
     }
 
-    let base_eps = totals_field(&base, "events_per_sec")?;
-    let cand_eps = totals_field(&cand, "events_per_sec")?;
+    let (base_eps, cand_eps) = totals_pair(&base, &cand, "events_per_sec")?;
     let eps_pct = if base_eps > 0.0 {
         (cand_eps - base_eps) / base_eps * 100.0
     } else {
@@ -524,7 +597,7 @@ mod tests {
             doc.get("totals").unwrap().get("runs").unwrap().as_u64(),
             Some(2)
         );
-        assert!(totals_field(&doc, "events").unwrap() > 0.0);
+        assert!(totals_field(&doc, "report", "events").unwrap() > 0.0);
         let counters = doc.get("merged").unwrap().get("counters").unwrap();
         assert!(counters.get("sim.events.hop").unwrap().as_u64().unwrap() > 0);
         assert!(
@@ -580,6 +653,78 @@ mod tests {
         )
         .unwrap();
         assert_eq!(verdict.regressions.len(), 2, "{:?}", verdict.regressions);
+    }
+
+    #[test]
+    fn baseline_missing_a_candidate_key_gets_a_regenerate_diagnostic() {
+        let (cfg, result) = profiled_result();
+        let report = bench_report(&cfg, &result);
+        // Simulate a baseline written before totals.events_per_sec
+        // existed: drop the key entirely (schema intact).
+        let mut old = JsonValue::parse(&report).unwrap();
+        let JsonValue::Obj(totals) = old.get_mut("totals").unwrap() else {
+            panic!("totals is an object");
+        };
+        totals.retain(|(k, _)| k != "events_per_sec");
+        let err = compare_reports(
+            &old.to_string_compact(),
+            &report,
+            &BenchThresholds::default(),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("baseline report lacks totals.events_per_sec"),
+            "{err}"
+        );
+        assert!(err.contains("regenerate"), "{err}");
+
+        // The candidate missing the same key is a plain candidate error,
+        // not a regenerate-the-baseline hint.
+        let err = compare_reports(
+            &report,
+            &old.to_string_compact(),
+            &BenchThresholds::default(),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("candidate report lacks totals.events_per_sec"),
+            "{err}"
+        );
+        assert!(!err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn profile_totals_member_is_present_and_volatile() {
+        let (cfg, result) = profiled_result();
+        let plain = bench_report(&cfg, &result);
+        let doc = JsonValue::parse(&plain).unwrap();
+        assert_eq!(
+            doc.get("totals").unwrap().get("profile"),
+            Some(&JsonValue::Null)
+        );
+
+        let totals = ProfileTotals {
+            stride: 256,
+            events: 10_000,
+            attributed_pct: 97.5,
+            overhead: Some(MonitorOverhead {
+                wall_off_s: 1.0,
+                wall_on_s: 1.01,
+                cpu_off_s: 4.0,
+                cpu_on_s: 4.08,
+            }),
+        };
+        let with = bench_report_full(&cfg, &result, None, Some(&totals));
+        let doc = JsonValue::parse(&with).unwrap();
+        let p = doc.get("totals").unwrap().get("profile").unwrap();
+        assert_eq!(p.get("stride").unwrap().as_u64(), Some(256));
+        let o = p.get("profiler_overhead").unwrap();
+        assert!((o.get("overhead_pct").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-9);
+        // Volatile: stripping nulls the member and re-aligns documents.
+        assert_eq!(
+            strip_volatile(&plain).unwrap(),
+            strip_volatile(&with).unwrap()
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!     [--health FILE] [--monitor-overhead] [--monitor-overhead-max-pct P]
 //!     [--bench-report FILE] [--baseline FILE] [--baseline-max-wall-pct P]
 //!     [--baseline-max-throughput-pct P] [--baseline-warn-only]
+//!     [--profile[=json|folded]] [--profile-out FILE]
+//!     [--profile-overhead] [--profile-overhead-max-pct P]
 //! ```
 //!
 //! At `--scale 1.0` (default) the full Table-1 packet counts are reenacted;
@@ -41,6 +43,18 @@
 //! overhead exceeds `--monitor-overhead-max-pct` (default 5; deltas under
 //! 50 ms are treated as timer noise).
 //!
+//! `--profile` runs the whole suite under the in-sim self-profiler and
+//! emits the merged `cesrm-prof/1` document (see `docs/PROFILING.md`):
+//! per-phase time attribution, calendar-queue/arena/loss engine telemetry
+//! and the sampling stride. `--profile=folded` emits flamegraph-compatible
+//! folded stacks instead; `--profile-out FILE` writes the report to a file
+//! rather than stdout. When `--bench-report` is also set, the headline
+//! profile figures land under `totals.profile`. `--profile-overhead`
+//! reenacts the suite with the profiler off (the same A/B shape as
+//! `--monitor-overhead`) and exits with status 3 when the CPU-time
+//! overhead exceeds `--profile-overhead-max-pct` (default 5, 50 ms noise
+//! floor).
+//!
 //! # `reproduce scale` — million-receiver sweeps
 //!
 //! ```text
@@ -48,6 +62,7 @@
 //!     [--rungs N,N,...] [--shards N] [--protocol srm|cesrm] [--seed N]
 //!     [--packets N] [--losses N] [--csv FILE] [--bench-report FILE|-]
 //!     [--check-identity] [--no-identity] [--in-process] [--max-rss-mb N]
+//!     [--profile[=json|folded]] [--profile-out FILE]
 //! ```
 //!
 //! Runs the scaling experiment of `docs/SCALING.md`: each rung simulates
@@ -61,8 +76,24 @@
 //! `cesrm-bench/1` report. Exits 3 when a rung's peak RSS exceeds
 //! `--max-rss-mb`, 4 on an invariant violation or unrecovered loss, and 1
 //! when sharded results diverge from the unsharded canon.
+//!
+//! `--profile` additionally runs every rung under the self-profiler and
+//! reports, per rung, the `cesrm-prof/1` document — including per-shard
+//! busy/barrier-wait times, cross-shard packet counts and the derived
+//! imbalance ratio on sharded rungs (`docs/SCALING.md` explains how to
+//! read it). With several rungs and `--profile-out FILE`, each rung's
+//! report goes to `FILE` with `-<receivers>` appended to the stem.
 
-use harness::{bench_report_with, run_suite, BenchThresholds, SuiteConfig, TraceFilter};
+use harness::{bench_report_full, run_suite, BenchThresholds, SuiteConfig, TraceFilter};
+
+/// Output format of a `--profile` request.
+#[derive(Clone, Copy, PartialEq)]
+enum ProfFormat {
+    /// The `cesrm-prof/1` JSON document.
+    Json,
+    /// Flamegraph-compatible folded stacks.
+    Folded,
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +120,10 @@ fn suite_main(argv: Vec<String>) {
     let mut health_path: Option<std::path::PathBuf> = None;
     let mut monitor_overhead = false;
     let mut overhead_max_pct: f64 = 5.0;
+    let mut profile: Option<ProfFormat> = None;
+    let mut profile_out: Option<std::path::PathBuf> = None;
+    let mut profile_overhead = false;
+    let mut profile_overhead_max_pct: f64 = 5.0;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -199,6 +234,20 @@ fn suite_main(argv: Vec<String>) {
                     .and_then(|v| v.parse().ok())
                     .expect("--monitor-overhead-max-pct requires a percentage");
             }
+            "--profile" | "--profile=json" => profile = Some(ProfFormat::Json),
+            "--profile=folded" => profile = Some(ProfFormat::Folded),
+            "--profile-out" => {
+                profile_out = Some(std::path::PathBuf::from(
+                    args.next().expect("--profile-out requires a path"),
+                ));
+            }
+            "--profile-overhead" => profile_overhead = true,
+            "--profile-overhead-max-pct" => {
+                profile_overhead_max_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--profile-overhead-max-pct requires a percentage");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -209,6 +258,11 @@ fn suite_main(argv: Vec<String>) {
         eprintln!("--monitor-overhead requires --bench-report (nowhere to record it)");
         std::process::exit(2);
     }
+    if (profile_out.is_some() || profile_overhead) && profile.is_none() {
+        eprintln!("--profile-out / --profile-overhead require --profile (nothing is profiled)");
+        std::process::exit(2);
+    }
+    cfg.profile = profile.is_some();
     eprintln!(
         "running suite: scale {:.3}, seed {}, link delay {}, lossy recovery {}, jobs {}",
         cfg.scale,
@@ -310,8 +364,69 @@ fn suite_main(argv: Vec<String>) {
             cpu_on_s: on.cpu_total().as_secs_f64(),
         }
     });
+    // Same A/B shape for the profiler: reenact the identical suite with
+    // the profiler off; seed and configuration are shared, so the delta is
+    // the sampling and telemetry work itself.
+    let prof_overhead = profile_overhead.then(|| {
+        eprintln!("measuring profiler overhead: reenacting the suite with the profiler off...");
+        let mut alt = cfg.clone();
+        alt.profile = false;
+        let off = run_suite(&alt);
+        harness::MonitorOverhead {
+            wall_off_s: off.timing.wall.as_secs_f64(),
+            wall_on_s: result.timing.wall.as_secs_f64(),
+            cpu_off_s: off.timing.cpu_total().as_secs_f64(),
+            cpu_on_s: result.timing.cpu_total().as_secs_f64(),
+        }
+    });
+    let merged_prof = harness::merge_suite_profs(&result.profs);
+    let profile_totals =
+        merged_prof
+            .as_ref()
+            .map(|(snapshot, wall_ns, _)| harness::ProfileTotals {
+                stride: snapshot.stride,
+                events: snapshot.events,
+                attributed_pct: snapshot.attributed_pct(*wall_ns),
+                overhead: prof_overhead,
+            });
+    if let (Some(format), Some((snapshot, wall_ns, engine))) = (profile, merged_prof.as_ref()) {
+        let rendered = match format {
+            ProfFormat::Json => harness::prof_json(snapshot, Some(*wall_ns), Some(engine), &[]),
+            ProfFormat::Folded => harness::prof_folded(snapshot),
+        };
+        eprintln!(
+            "profile: {} hot-loop events at stride {}, {:.1}% of the {:.3} s run wall-clock \
+             attributed to named phases",
+            snapshot.events,
+            snapshot.stride,
+            snapshot.attributed_pct(*wall_ns),
+            *wall_ns as f64 / 1e9,
+        );
+        if let Some(path) = &profile_out {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("failed to create {}: {e}", parent.display());
+                    std::process::exit(1);
+                }
+            }
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("failed to write profile: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} profile to {}",
+                match format {
+                    ProfFormat::Json => harness::PROF_SCHEMA,
+                    ProfFormat::Folded => "folded-stack",
+                },
+                path.display()
+            );
+        } else {
+            print!("{rendered}");
+        }
+    }
     if let Some(path) = bench_path {
-        let report = bench_report_with(&cfg, &result, overhead.as_ref());
+        let report = bench_report_full(&cfg, &result, overhead.as_ref(), profile_totals.as_ref());
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             if let Err(e) = std::fs::create_dir_all(parent) {
                 eprintln!("failed to create {}: {e}", parent.display());
@@ -377,6 +492,23 @@ fn suite_main(argv: Vec<String>) {
             std::process::exit(3);
         }
     }
+    if let Some(o) = &prof_overhead {
+        println!(
+            "profiler overhead: cpu {:.3} s off vs {:.3} s on ({:+.1}%, limit +{:.1}%, \
+             50 ms noise floor)",
+            o.cpu_off_s,
+            o.cpu_on_s,
+            o.overhead_pct(),
+            profile_overhead_max_pct
+        );
+        if !o.within(profile_overhead_max_pct, 0.05) {
+            eprintln!(
+                "PROFILER OVERHEAD REGRESSION: {:+.1}% exceeds +{profile_overhead_max_pct:.1}%",
+                o.overhead_pct()
+            );
+            std::process::exit(3);
+        }
+    }
     if seeds > 1 {
         let list: Vec<u64> = (0..seeds as u64)
             .map(|i| cfg.seed.wrapping_add(i))
@@ -412,6 +544,7 @@ fn suite_main(argv: Vec<String>) {
 struct RungOutcome {
     receivers: u64,
     shards: u32,
+    epochs: u64,
     monitored: bool,
     violations: Option<u64>,
     csv: String,
@@ -427,6 +560,12 @@ struct RungOutcome {
     wall_s: f64,
     events_per_sec: f64,
     peak_rss_bytes: u64,
+    /// The rung's `cesrm-prof/1` document (parsed), when the rung ran
+    /// under `--profile`.
+    profile: Option<obs::JsonValue>,
+    /// The rung's folded-stack export, when the rung ran under
+    /// `--profile`.
+    folded: Option<String>,
 }
 
 fn protocol_from_name(name: &str) -> harness::Protocol {
@@ -463,10 +602,23 @@ fn run_rung_in_process(cfg: &harness::ScaleConfig) -> RungOutcome {
     // simlint: allow(D002, reason = "per-rung wall-clock for the events/s figure; never feeds simulation state")
     let started = std::time::Instant::now();
     let r = harness::run_scale(cfg);
-    let wall_s = started.elapsed().as_secs_f64();
+    let wall = started.elapsed();
+    let wall_s = wall.as_secs_f64();
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    let profile = r.prof.as_ref().map(|snapshot| {
+        let text = harness::prof_json(
+            snapshot,
+            Some(wall_ns),
+            r.engine.as_ref(),
+            &r.shard_accounting,
+        );
+        obs::JsonValue::parse(&text).expect("prof_json emits well-formed JSON")
+    });
+    let folded = r.prof.as_ref().map(harness::prof_folded);
     RungOutcome {
         receivers: r.receivers,
         shards: r.shards,
+        epochs: r.epochs,
         monitored: cfg.monitor && r.shards == 1,
         violations: r.violations,
         csv: r.csv_row(),
@@ -486,6 +638,8 @@ fn run_rung_in_process(cfg: &harness::ScaleConfig) -> RungOutcome {
             0.0
         },
         peak_rss_bytes: peak_rss_bytes(),
+        profile,
+        folded,
     }
 }
 
@@ -512,6 +666,7 @@ fn scale_rung_main(argv: &[String]) {
             "--packets" => cfg.packets = take("--packets"),
             "--losses" => cfg.losses = take("--losses") as u32,
             "--monitor" => cfg.monitor = true,
+            "--profile" => cfg.profile = true,
             "--protocol" => {
                 protocol = args.next().cloned().unwrap_or_else(|| {
                     eprintln!("--protocol requires srm or cesrm");
@@ -526,7 +681,13 @@ fn scale_rung_main(argv: &[String]) {
     }
     cfg.protocol = protocol_from_name(&protocol);
     let o = run_rung_in_process(&cfg);
-    println!("{}", rung_json(&o, &protocol).to_string_compact());
+    let mut doc = rung_json(&o, &protocol);
+    // The folded export rides along only on the child→parent line; it is
+    // derived data and stays out of the bench document.
+    if let (obs::JsonValue::Obj(members), Some(folded)) = (&mut doc, &o.folded) {
+        members.push(("folded".into(), obs::JsonValue::Str(folded.clone())));
+    }
+    println!("{}", doc.to_string_compact());
 }
 
 fn rung_json(o: &RungOutcome, protocol: &str) -> obs::JsonValue {
@@ -535,6 +696,7 @@ fn rung_json(o: &RungOutcome, protocol: &str) -> obs::JsonValue {
         ("schema".into(), J::Str("cesrm-scale-rung/1".into())),
         ("receivers".into(), J::Num(o.receivers as f64)),
         ("shards".into(), J::Num(f64::from(o.shards))),
+        ("epochs".into(), J::Num(o.epochs as f64)),
         ("protocol".into(), J::Str(protocol.into())),
         ("monitored".into(), J::Bool(o.monitored)),
         (
@@ -560,6 +722,12 @@ fn rung_json(o: &RungOutcome, protocol: &str) -> obs::JsonValue {
         ("wall_s".into(), J::Num(o.wall_s)),
         ("events_per_sec".into(), J::Num(o.events_per_sec)),
         ("peak_rss_bytes".into(), J::Num(o.peak_rss_bytes as f64)),
+        // "profile" is in `harness::VOLATILE_FIELDS`, so bench comparison
+        // strips the embedded cesrm-prof/1 document.
+        (
+            "profile".into(),
+            o.profile.clone().unwrap_or(obs::JsonValue::Null),
+        ),
     ])
 }
 
@@ -569,6 +737,7 @@ fn rung_from_json(doc: &obs::JsonValue) -> Option<RungOutcome> {
     Some(RungOutcome {
         receivers: u("receivers")?,
         shards: u("shards")? as u32,
+        epochs: u("epochs")?,
         monitored: matches!(doc.get("monitored"), Some(obs::JsonValue::Bool(true))),
         violations: u("violations"),
         csv: doc.get("csv")?.as_str()?.to_string(),
@@ -584,6 +753,14 @@ fn rung_from_json(doc: &obs::JsonValue) -> Option<RungOutcome> {
         wall_s: f("wall_s")?,
         events_per_sec: f("events_per_sec")?,
         peak_rss_bytes: u("peak_rss_bytes")?,
+        profile: doc
+            .get("profile")
+            .filter(|v| !matches!(v, obs::JsonValue::Null))
+            .cloned(),
+        folded: doc
+            .get("folded")
+            .and_then(obs::JsonValue::as_str)
+            .map(str::to_string),
     })
 }
 
@@ -611,6 +788,9 @@ fn run_rung(cfg: &harness::ScaleConfig, protocol: &str, in_process: bool) -> Run
             if cfg.monitor {
                 cmd.arg("--monitor");
             }
+            if cfg.profile {
+                cmd.arg("--profile");
+            }
             match cmd.output() {
                 Ok(out) if out.status.success() => {
                     let text = String::from_utf8_lossy(&out.stdout);
@@ -635,6 +815,76 @@ fn run_rung(cfg: &harness::ScaleConfig, protocol: &str, in_process: bool) -> Run
         }
     }
     run_rung_in_process(cfg)
+}
+
+/// Prints each profiled rung's per-shard accounting summary (busy and
+/// barrier-wait time, cross-shard packets, imbalance ratio) and emits its
+/// `cesrm-prof/1` (or folded-stack) report. With several profiled rungs
+/// and a `--profile-out` base path, each rung's file gets `-<receivers>`
+/// appended to the stem.
+fn emit_scale_profiles(
+    outcomes: &[RungOutcome],
+    format: ProfFormat,
+    out: Option<&std::path::Path>,
+) {
+    let multi = outcomes.iter().filter(|o| o.profile.is_some()).count() > 1;
+    for o in outcomes {
+        let Some(doc) = &o.profile else { continue };
+        if let Some(obs::JsonValue::Arr(shards)) = doc.get("shards") {
+            if !shards.is_empty() {
+                let ratio = doc.get("imbalance_ratio").and_then(obs::JsonValue::as_f64);
+                eprintln!(
+                    "scale rung {}: per-shard accounting over {} epoch(s), imbalance ratio {}:",
+                    o.receivers,
+                    o.epochs,
+                    ratio.map_or_else(|| "-".to_string(), |r| format!("{r:.2}")),
+                );
+                for s in shards {
+                    let u = |k: &str| s.get(k).and_then(obs::JsonValue::as_u64).unwrap_or(0);
+                    eprintln!(
+                        "  shard {}: busy {:.1} ms, barrier wait {:.1} ms, \
+                         {} sent / {} received cross-shard",
+                        u("shard"),
+                        u("busy_ns") as f64 / 1e6,
+                        u("barrier_ns") as f64 / 1e6,
+                        u("packets_sent"),
+                        u("packets_received"),
+                    );
+                }
+            }
+        }
+        let rendered = match format {
+            ProfFormat::Json => {
+                let mut text = doc.to_string_pretty();
+                text.push('\n');
+                text
+            }
+            ProfFormat::Folded => o.folded.clone().unwrap_or_default(),
+        };
+        match out {
+            Some(base) => {
+                let path = if multi {
+                    let stem = base
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    let ext = base
+                        .extension()
+                        .map(|e| format!(".{}", e.to_string_lossy()))
+                        .unwrap_or_default();
+                    base.with_file_name(format!("{stem}-{}{ext}", o.receivers))
+                } else {
+                    base.to_path_buf()
+                };
+                if let Err(e) = std::fs::write(&path, &rendered) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote rung {} profile to {}", o.receivers, path.display());
+            }
+            None => print!("{rendered}"),
+        }
+    }
 }
 
 /// Builds the `cesrm-bench/1` document for a scale sweep: deterministic
@@ -697,6 +947,8 @@ fn scale_main(argv: &[String]) {
     let mut skip_identity = false;
     let mut in_process = false;
     let mut max_rss_mb: Option<u64> = None;
+    let mut profile: Option<ProfFormat> = None;
+    let mut profile_out: Option<std::path::PathBuf> = None;
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -751,6 +1003,13 @@ fn scale_main(argv: &[String]) {
             "--check-identity" => check_identity_all = true,
             "--no-identity" => skip_identity = true,
             "--in-process" => in_process = true,
+            "--profile" | "--profile=json" => profile = Some(ProfFormat::Json),
+            "--profile=folded" => profile = Some(ProfFormat::Folded),
+            "--profile-out" => {
+                profile_out = Some(std::path::PathBuf::from(
+                    args.next().expect("--profile-out requires a path"),
+                ));
+            }
             "--max-rss-mb" => {
                 max_rss_mb = Some(
                     args.next()
@@ -765,6 +1024,10 @@ fn scale_main(argv: &[String]) {
         }
     }
     protocol_from_name(&protocol); // validate early
+    if profile_out.is_some() && profile.is_none() {
+        eprintln!("--profile-out requires --profile (nothing is profiled)");
+        std::process::exit(2);
+    }
     rungs.sort_unstable();
     rungs.dedup();
     if rungs.is_empty() {
@@ -772,13 +1035,16 @@ fn scale_main(argv: &[String]) {
         std::process::exit(2);
     }
 
-    // Monitors need the global event order, so monitored rungs (≤ 10⁴)
-    // run unsharded; the larger rungs fan out across worker shards.
+    // Monitors need the global event order, so rungs up to 10⁴ receivers
+    // default to a single shard (and run monitored); the larger rungs fan
+    // out across worker shards. An explicit `--shards` wins everywhere —
+    // e.g. to profile shard imbalance on a small rung — and the monitors
+    // stay off on any sharded rung.
     let auto_shards = |receivers: u64| -> u32 {
-        if receivers <= 10_000 {
-            1
-        } else {
-            shards.unwrap_or_else(|| harness::default_parallelism().clamp(1, 8) as u32)
+        match shards {
+            Some(s) => s.max(1),
+            None if receivers <= 10_000 => 1,
+            None => harness::default_parallelism().clamp(1, 8) as u32,
         }
     };
 
@@ -790,7 +1056,8 @@ fn scale_main(argv: &[String]) {
         cfg.packets = packets;
         cfg.protocol = protocol_from_name(&protocol);
         cfg.shards = auto_shards(receivers);
-        cfg.monitor = receivers <= 10_000;
+        cfg.monitor = receivers <= 10_000 && cfg.shards == 1;
+        cfg.profile = profile.is_some();
         eprintln!(
             "scale rung {receivers}: shards {}, monitors {}...",
             cfg.shards,
@@ -806,6 +1073,7 @@ fn scale_main(argv: &[String]) {
             let mut alt = cfg;
             alt.shards = if outcome.shards == 1 { 2 } else { 1 };
             alt.monitor = false;
+            alt.profile = false;
             eprintln!(
                 "scale rung {receivers}: identity check at {} shard(s)...",
                 alt.shards
@@ -856,6 +1124,10 @@ fn scale_main(argv: &[String]) {
             o.violations
                 .map_or_else(|| "-".to_string(), |v| v.to_string()),
         );
+    }
+
+    if let Some(format) = profile {
+        emit_scale_profiles(&outcomes, format, profile_out.as_deref());
     }
 
     if let Some(path) = &csv_path {

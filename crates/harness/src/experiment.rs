@@ -194,6 +194,36 @@ pub fn run_trace_instrumented(
     events: &obs::TraceHandle,
     metrics: &obs::MetricsHandle,
 ) -> RunMetrics {
+    run_trace_profiled(
+        trace,
+        protocol,
+        cfg,
+        events,
+        metrics,
+        &obs::ProfHandle::off(),
+    )
+    .0
+}
+
+/// Like [`run_trace_instrumented`], but additionally threads a self-profiler
+/// handle (see [`obs::prof`], `docs/PROFILING.md`) through the simulator and
+/// every protocol agent, and returns the engine's always-on telemetry
+/// counters alongside the measurements. The three coarse phases
+/// (`setup`/`run`/`teardown`) are timed exactly here; the engine phases are
+/// stride-sampled inside the simulator; exact per-phase call totals are
+/// folded in from [`netsim::EngineTelemetry`] after the run. Snapshot `prof`
+/// after the call to read the profile.
+pub fn run_trace_profiled(
+    trace: &Trace,
+    protocol: Protocol,
+    cfg: &ExperimentConfig,
+    events: &obs::TraceHandle,
+    metrics: &obs::MetricsHandle,
+    prof: &obs::ProfHandle,
+) -> (RunMetrics, netsim::EngineTelemetry) {
+    use obs::Phase;
+
+    let setup_stamp = prof.begin_exact(Phase::Setup);
     // §4.2: estimate link loss rates and build the link trace
     // representation driving the loss injection.
     let rates = yajnik_rates(trace);
@@ -206,6 +236,10 @@ pub fn run_trace_instrumented(
     let net = cfg.net.with_router_assist(router_assist);
     let mut sim = Simulator::new(tree.clone(), net);
     sim.set_scheduler(cfg.scheduler);
+    sim.set_profiler(prof.clone());
+    // Re-bind the trace handle with the profiler attached so monitor feeds
+    // are attributed to the `monitor_feed` phase.
+    let events = &events.clone().with_prof(prof.clone());
     if cfg.lossy_recovery {
         sim.set_loss(Box::new(ProbabilisticLoss::new(
             TraceLoss::new(plan),
@@ -237,7 +271,8 @@ pub fn run_trace_instrumented(
                 Box::new(
                     SrmAgent::source(source, params, source_cfg, log.clone())
                         .with_trace(events.clone())
-                        .with_metrics(metrics),
+                        .with_metrics(metrics)
+                        .with_prof(prof.clone()),
                 ),
             );
             for &r in tree.receivers() {
@@ -246,7 +281,8 @@ pub fn run_trace_instrumented(
                     Box::new(
                         SrmAgent::receiver(r, source, params, log.clone())
                             .with_trace(events.clone())
-                            .with_metrics(metrics),
+                            .with_metrics(metrics)
+                            .with_prof(prof.clone()),
                     ),
                 );
             }
@@ -257,7 +293,8 @@ pub fn run_trace_instrumented(
                 Box::new(
                     CesrmAgent::source(source, ccfg, source_cfg, log.clone())
                         .with_trace(events.clone())
-                        .with_metrics(metrics),
+                        .with_metrics(metrics)
+                        .with_prof(prof.clone()),
                 ),
             );
             for &r in tree.receivers() {
@@ -266,16 +303,33 @@ pub fn run_trace_instrumented(
                     Box::new(
                         CesrmAgent::receiver(r, source, ccfg, log.clone())
                             .with_trace(events.clone())
-                            .with_metrics(metrics),
+                            .with_metrics(metrics)
+                            .with_prof(prof.clone()),
                     ),
                 );
             }
         }
     }
+    prof.end(Phase::Setup, setup_stamp);
     let end = SimTime::ZERO + cfg.warmup + period * trace.packets() as u32 + cfg.drain;
+    let run_stamp = prof.begin_exact(Phase::Run);
     sim.run_until(end);
+    prof.end(Phase::Run, run_stamp);
     let events_processed = sim.events_processed();
 
+    // Exact per-phase call totals come from the engine's always-on
+    // telemetry counters, not per-call increments on the hot path: the
+    // sampled timings recorded during the run are scaled by these totals
+    // when the snapshot estimates per-phase time (see `obs::prof`).
+    let telemetry = sim.telemetry();
+    prof.add_calls(Phase::QueuePop, telemetry.queue.pops);
+    prof.add_calls(Phase::QueuePush, telemetry.queue.pushes);
+    prof.add_calls(Phase::LossDraw, telemetry.transmits);
+    prof.add_calls(Phase::Transmit, telemetry.transmits);
+    prof.add_calls(Phase::FanOut, telemetry.fan_outs);
+    prof.add_calls(Phase::Deliver, telemetry.deliveries);
+
+    let teardown_stamp = prof.begin_exact(Phase::Teardown);
     let log = log.borrow();
     let collector = collector.borrow();
     let mut nodes = vec![source];
@@ -312,7 +366,7 @@ pub fn run_trace_instrumented(
             })
         })
         .collect();
-    RunMetrics {
+    let metrics_out = RunMetrics {
         reports: per_receiver_reports(&log, &tree, &net),
         requests_by_node,
         replies_by_node,
@@ -325,7 +379,9 @@ pub fn run_trace_instrumented(
         samples,
         expedited_reply_crossings: collector.crossings_any_cast(PacketKind::ExpeditedReply),
         events_processed,
-    }
+    };
+    prof.end(Phase::Teardown, teardown_stamp);
+    (metrics_out, telemetry)
 }
 
 #[cfg(test)]

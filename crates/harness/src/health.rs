@@ -332,6 +332,7 @@ mod tests {
             pairs: Vec::new(),
             events: Vec::new(),
             profiles: Vec::new(),
+            profs: Vec::new(),
             health: vec![RunHealth {
                 trace: 4,
                 name: "WRN950919",

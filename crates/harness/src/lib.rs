@@ -51,6 +51,7 @@ pub mod bench_report;
 mod csv;
 mod experiment;
 pub mod health;
+mod prof_report;
 mod render;
 pub mod runner;
 pub mod scale;
@@ -59,21 +60,27 @@ mod sweep;
 pub mod tracing;
 
 pub use bench_report::{
-    bench_report, bench_report_with, compare_reports, strip_volatile, utc_date_stamp,
-    BenchComparison, BenchThresholds, MonitorOverhead, BENCH_SCHEMA, VOLATILE_FIELDS,
+    bench_report, bench_report_full, bench_report_with, compare_reports, strip_volatile,
+    utc_date_stamp, BenchComparison, BenchThresholds, MonitorOverhead, ProfileTotals, BENCH_SCHEMA,
+    VOLATILE_FIELDS,
 };
 pub use experiment::{
-    run_trace, run_trace_instrumented, run_trace_traced, ExperimentConfig, Protocol,
-    RecoverySample, RunMetrics,
+    run_trace, run_trace_instrumented, run_trace_profiled, run_trace_traced, ExperimentConfig,
+    Protocol, RecoverySample, RunMetrics,
 };
 pub use health::{health_json, health_text, write_health, HEALTH_SCHEMA};
+pub use prof_report::{
+    merge_suite_profs, prof_folded, prof_json, strip_prof_volatile, PROF_SCHEMA,
+    PROF_VOLATILE_FIELDS,
+};
 pub use runner::{default_parallelism, resolve_jobs, run_indexed, RunTiming, SuiteTiming};
 pub use scale::{
     build_assignment, default_losses, run_scale, scale_cesrm_config, scale_srm_params, ScaleConfig,
-    ScaleLoss, ScaleResult,
+    ScaleLoss, ScaleResult, ShardAccounting,
 };
 pub use suite::{
-    run_suite, run_suites, RunEventLog, RunHealth, RunProfile, SuiteConfig, SuiteResult, TracePair,
+    run_suite, run_suites, RunEventLog, RunHealth, RunProf, RunProfile, SuiteConfig, SuiteResult,
+    TracePair,
 };
 pub use sweep::{seed_sweep, Stat, SweepSummary};
 pub use tracing::{coverage, slowest_text, write_jsonl, TraceCoverage, TraceFilter};

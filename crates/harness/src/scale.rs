@@ -36,6 +36,7 @@ use std::cell::RefCell;
 use std::mem;
 use std::rc::Rc;
 use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
 
 use cesrm::{CesrmAgent, CesrmConfig};
 use metrics::{PacketKind, RecoveryLog, RecoveryRecord, TrafficCollector};
@@ -117,6 +118,11 @@ pub struct ScaleConfig {
     pub losses: u32,
     /// Attach the I1–I6 invariant monitors (only honoured at `shards: 1`).
     pub monitor: bool,
+    /// Run the `cesrm-prof/1` self-profiler in every shard (see
+    /// `docs/PROFILING.md`). Each shard owns its `!Send` handle and ships
+    /// only the plain-data snapshot back; measurements stay byte-identical
+    /// to a profiler-off run.
+    pub profile: bool,
 }
 
 impl ScaleConfig {
@@ -134,6 +140,7 @@ impl ScaleConfig {
             drain: SimDuration::from_secs(10),
             losses: default_losses(receivers),
             monitor: false,
+            profile: false,
         }
     }
 
@@ -146,11 +153,37 @@ impl ScaleConfig {
     }
 }
 
+/// Per-shard accounting of one sharded run: where each worker spent its
+/// wall-clock time and how much traffic crossed its cut links. The packet
+/// counts and epoch count are deterministic for a given `(config, shard
+/// count)`; `busy_ns` and `barrier_ns` are wall-clock and excluded from
+/// every determinism comparison (see `docs/PROFILING.md` and the
+/// shard-imbalance section of `docs/SCALING.md`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardAccounting {
+    /// Shard index (mailbox/slot order).
+    pub shard: u32,
+    /// Lookahead epochs this shard executed (equal across shards).
+    pub epochs: u64,
+    /// Wall-clock nanoseconds spent simulating (inside `run_until` and the
+    /// outbox drain), summed over epochs.
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds spent blocked on the two per-epoch barriers,
+    /// summed over epochs. High barrier share on some shards with low on
+    /// others means the root-cut binning left the work unbalanced.
+    pub barrier_ns: u64,
+    /// Cross-shard packets this shard posted to other shards' mailboxes.
+    pub packets_sent: u64,
+    /// Cross-shard packets this shard accepted from its mailboxes (arrivals
+    /// past the horizon are dropped and not counted).
+    pub packets_received: u64,
+}
+
 /// Everything one rung measures that is a pure function of the
 /// configuration — byte-identical at any shard count (`shards` itself and
 /// `violations` are carried for reporting but excluded from
 /// [`ScaleResult::csv_row`]).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct ScaleResult {
     /// Receivers in the generated tree.
     pub receivers: u64,
@@ -194,8 +227,41 @@ pub struct ScaleResult {
     /// Invariant violations when monitored (`None` when monitors were
     /// off; not part of the deterministic row).
     pub violations: Option<u64>,
+    /// Lookahead epochs executed per shard (`1` when unsharded). A pure
+    /// function of the horizon, the topology's minimum cut-link delay and
+    /// the shard count; not part of the deterministic row because it
+    /// changes with `shards`.
+    pub epochs: u64,
+    /// Per-shard busy/barrier/traffic accounting, in shard order. The
+    /// `busy_ns`/`barrier_ns` members are wall-clock; everything else is
+    /// deterministic for a given shard count. Not part of the
+    /// deterministic row or of equality.
+    pub shard_accounting: Vec<ShardAccounting>,
+    /// Merged `cesrm-prof/1` profiler snapshot (shard-order fold; `None`
+    /// unless [`ScaleConfig::profile`] was set). Call counts are
+    /// deterministic for a given shard count; sampled nanoseconds are
+    /// wall-clock. Not part of equality.
+    pub prof: Option<obs::ProfSnapshot>,
+    /// Merged engine telemetry counters (`None` unless
+    /// [`ScaleConfig::profile`] was set). Per-queue high-water figures
+    /// depend on the shard count; totals do not. Not part of equality.
+    pub engine: Option<netsim::EngineTelemetry>,
     /// Every loss lifecycle, sorted by `(receiver, sequence number)`.
     pub records: Vec<RecoveryRecord>,
+}
+
+impl PartialEq for ScaleResult {
+    /// Equality covers only the run's measurements (including the
+    /// deterministic shard/epoch context), never the wall-clock
+    /// [`ShardAccounting`] timings — two runs of the same configuration
+    /// compare equal regardless of machine load.
+    fn eq(&self, other: &Self) -> bool {
+        self.csv_row() == other.csv_row()
+            && self.shards == other.shards
+            && self.epochs == other.epochs
+            && self.violations == other.violations
+            && self.records == other.records
+    }
 }
 
 impl ScaleResult {
@@ -235,6 +301,33 @@ impl ScaleResult {
     /// of this figure across rungs is the O(active-losses) claim).
     pub fn state_bytes_per_receiver(&self) -> u64 {
         self.state_bytes.checked_div(self.receivers).unwrap_or(0)
+    }
+
+    /// Shard busy-time imbalance: the busiest shard's wall-clock busy time
+    /// over the mean across shards. `1.0` means perfectly balanced; `2.0`
+    /// means the slowest shard did twice the mean work while the others
+    /// waited at the barrier. Returns `1.0` for unsharded or untimed runs.
+    /// See the shard-imbalance section of `docs/SCALING.md` for how to
+    /// read this figure.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let n = self.shard_accounting.len();
+        let total: u64 = self.shard_accounting.iter().map(|s| s.busy_ns).sum();
+        if n < 2 || total == 0 {
+            return 1.0;
+        }
+        let max = self
+            .shard_accounting
+            .iter()
+            .map(|s| s.busy_ns)
+            .max()
+            .unwrap_or(0);
+        max as f64 * n as f64 / total as f64
+    }
+
+    /// Total cross-shard packets exchanged over the run (sum of per-shard
+    /// sends; deterministic for a given shard count).
+    pub fn cross_shard_packets(&self) -> u64 {
+        self.shard_accounting.iter().map(|s| s.packets_sent).sum()
     }
 }
 
@@ -360,6 +453,9 @@ struct ShardOutcome {
     traffic: TrafficCollector,
     state_bytes: u64,
     violations: Option<u64>,
+    accounting: ShardAccounting,
+    prof: Option<obs::ProfSnapshot>,
+    engine: Option<netsim::EngineTelemetry>,
 }
 
 /// Mailboxes for the barrier exchange, indexed `[destination][sender]` so
@@ -430,6 +526,9 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
     let mut records: Vec<RecoveryRecord> = Vec::new();
     let mut traffic = TrafficCollector::new();
     let mut violations: Option<u64> = None;
+    let mut shard_accounting: Vec<ShardAccounting> = Vec::with_capacity(shards);
+    let mut prof: Option<obs::ProfSnapshot> = None;
+    let mut engine: Option<netsim::EngineTelemetry> = None;
     for o in outcomes {
         events += o.events;
         state_bytes += o.state_bytes;
@@ -438,7 +537,19 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
         if let Some(v) = o.violations {
             violations = Some(violations.unwrap_or(0) + v);
         }
+        shard_accounting.push(o.accounting);
+        if let Some(s) = o.prof {
+            prof.get_or_insert_with(obs::ProfSnapshot::default)
+                .merge(&s);
+        }
+        if let Some(e) = o.engine {
+            match &mut engine {
+                Some(merged) => merged.merge(&e),
+                None => engine = Some(e),
+            }
+        }
     }
+    let epochs = shard_accounting.first().map_or(0, |a| a.epochs);
     records.sort_by_key(|r| (r.receiver, r.id.seq.value()));
 
     let detected = records.len() as u64;
@@ -482,6 +593,10 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
         data_crossings: traffic.crossings_any_cast(PacketKind::Data),
         state_bytes,
         violations,
+        epochs,
+        shard_accounting,
+        prof,
+        engine,
         records,
     }
 }
@@ -509,12 +624,19 @@ fn run_shard(
     barrier: &Barrier,
     mailboxes: &Mailboxes,
 ) -> ShardOutcome {
+    let prof = if cfg.profile {
+        obs::ProfHandle::new()
+    } else {
+        obs::ProfHandle::off()
+    };
+    let setup_stamp = prof.begin_exact(obs::Phase::Setup);
     let router_assist = matches!(cfg.protocol, Protocol::Cesrm(c) if c.router_assist);
     let net = NetConfig::default()
         .with_seed(cfg.seed)
         .with_router_assist(router_assist);
     let mut sim = Simulator::new_shared(Arc::clone(tree), net);
     sim.enable_sharding(Arc::clone(assign), me);
+    sim.set_profiler(prof.clone());
     for (i, &delay) in delays.iter().enumerate().skip(1) {
         sim.set_link_delay(LinkId(NodeId(i as u32)), SimDuration::from_nanos(delay));
     }
@@ -553,14 +675,16 @@ fn run_shard(
                 source,
                 Box::new(
                     SrmAgent::source(source, scale_srm_params(), source_cfg, log.clone())
-                        .with_trace(events_handle.clone()),
+                        .with_trace(events_handle.clone())
+                        .with_prof(prof.clone()),
                 ),
             ),
             Protocol::Cesrm(ccfg) => sim.attach_agent(
                 source,
                 Box::new(
                     CesrmAgent::source(source, ccfg, source_cfg, log.clone())
-                        .with_trace(events_handle.clone()),
+                        .with_trace(events_handle.clone())
+                        .with_prof(prof.clone()),
                 ),
             ),
         }
@@ -574,7 +698,8 @@ fn run_shard(
             Protocol::Srm => {
                 let params = widen_receiver_default(scale_srm_params());
                 let mut a = SrmAgent::receiver(r, source, params, log.clone())
-                    .with_trace(events_handle.clone());
+                    .with_trace(events_handle.clone())
+                    .with_prof(prof.clone());
                 a.core_mut().set_sessions_enabled(false);
                 a.core_mut().seed_distance(source, dist);
                 sim.attach_agent(r, Box::new(a));
@@ -585,7 +710,8 @@ fn run_shard(
                     ..ccfg
                 };
                 let mut a = CesrmAgent::receiver(r, source, rcfg, log.clone())
-                    .with_trace(events_handle.clone());
+                    .with_trace(events_handle.clone())
+                    .with_prof(prof.clone());
                 a.core_mut().set_sessions_enabled(false);
                 a.core_mut().seed_distance(source, dist);
                 sim.attach_agent(r, Box::new(a));
@@ -594,12 +720,24 @@ fn run_shard(
     }
 
     let horizon_ns = cfg.horizon().as_nanos();
+    let mut accounting = ShardAccounting {
+        shard: u32::from(me),
+        ..ShardAccounting::default()
+    };
+    prof.end(obs::Phase::Setup, setup_stamp);
+    let run_stamp = prof.begin_exact(obs::Phase::Run);
     if shards == 1 {
+        // simlint: allow(D002, reason = "per-shard busy-time accounting for the imbalance report; never feeds simulation state")
+        let busy = Instant::now();
         sim.run_until(SimTime::from_nanos(horizon_ns));
+        accounting.busy_ns = busy.elapsed().as_nanos() as u64;
+        accounting.epochs = 1;
     } else {
         let mut epoch: u64 = 0;
         loop {
             let end = (epoch + 1).saturating_mul(lookahead_ns).min(horizon_ns + 1);
+            // simlint: allow(D002, reason = "per-shard busy/barrier-time accounting for the imbalance report; never feeds simulation state")
+            let busy = Instant::now();
             sim.run_until(SimTime::from_nanos(end - 1));
             for p in sim.take_outbox() {
                 let dest = usize::from(assign[p.dest().index()]);
@@ -607,8 +745,13 @@ fn run_shard(
                     .lock()
                     .expect("mailbox lock poisoned")
                     .push(p);
+                accounting.packets_sent += 1;
             }
+            accounting.busy_ns += busy.elapsed().as_nanos() as u64;
+            // simlint: allow(D002, reason = "per-shard barrier-wait accounting; never feeds simulation state")
+            let wait = Instant::now();
             barrier.wait();
+            accounting.barrier_ns += wait.elapsed().as_nanos() as u64;
             for slot in &mailboxes[usize::from(me)] {
                 let batch = mem::take(&mut *slot.lock().expect("mailbox lock poisoned"));
                 for p in batch {
@@ -617,16 +760,33 @@ fn run_shard(
                     // unprocessed in its queue.
                     if p.arrive_ns() <= horizon_ns {
                         sim.inject_cross_shard(p);
+                        accounting.packets_received += 1;
                     }
                 }
             }
+            // simlint: allow(D002, reason = "per-shard barrier-wait accounting; never feeds simulation state")
+            let wait = Instant::now();
             barrier.wait();
+            accounting.barrier_ns += wait.elapsed().as_nanos() as u64;
+            epoch += 1;
             if end > horizon_ns {
                 break;
             }
-            epoch += 1;
         }
+        accounting.epochs = epoch;
     }
+    prof.end(obs::Phase::Run, run_stamp);
+    // Exact per-phase call totals come from the engine's always-on
+    // telemetry, exactly as in the suite path (see
+    // `run_trace_profiled`).
+    let engine = sim.telemetry();
+    prof.add_calls(obs::Phase::QueuePop, engine.queue.pops);
+    prof.add_calls(obs::Phase::QueuePush, engine.queue.pushes);
+    prof.add_calls(obs::Phase::LossDraw, engine.transmits);
+    prof.add_calls(obs::Phase::Transmit, engine.transmits);
+    prof.add_calls(obs::Phase::FanOut, engine.fan_outs);
+    prof.add_calls(obs::Phase::Deliver, engine.deliveries);
+    let teardown_stamp = prof.begin_exact(obs::Phase::Teardown);
 
     let violations = if monitored {
         events_handle
@@ -649,12 +809,16 @@ fn run_shard(
     }
     let records: Vec<RecoveryRecord> = log.borrow().records().copied().collect();
     let traffic = mem::replace(&mut *collector.borrow_mut(), TrafficCollector::new());
+    prof.end(obs::Phase::Teardown, teardown_stamp);
     ShardOutcome {
         events: sim.events_processed(),
         records,
         traffic,
         state_bytes,
         violations,
+        accounting,
+        prof: cfg.profile.then(|| prof.snapshot()),
+        engine: cfg.profile.then_some(engine),
     }
 }
 
@@ -716,6 +880,30 @@ mod tests {
             assert_eq!(one.records, many.records, "at {shards} shards");
             assert_eq!(one.events, many.events, "at {shards} shards");
         }
+    }
+
+    #[test]
+    fn sharded_run_reports_per_shard_accounting() {
+        let r = run_scale(&small_cfg(100, 4));
+        assert_eq!(r.shard_accounting.len(), 4);
+        assert!(r.epochs > 1, "multi-epoch run expected");
+        for (i, a) in r.shard_accounting.iter().enumerate() {
+            assert_eq!(a.shard, i as u32, "shard order");
+            assert_eq!(a.epochs, r.epochs, "epoch counts agree across shards");
+            assert!(a.busy_ns > 0, "shard {i} recorded no busy time");
+        }
+        // Every cross-shard packet sent within the horizon is received.
+        let sent = r.cross_shard_packets();
+        let received: u64 = r.shard_accounting.iter().map(|a| a.packets_received).sum();
+        assert!(sent > 0, "root-cut traffic must cross shards");
+        assert!(received <= sent, "receives cannot exceed sends");
+        assert!(r.imbalance_ratio() >= 1.0);
+
+        let solo = run_scale(&small_cfg(100, 1));
+        assert_eq!(solo.epochs, 1);
+        assert_eq!(solo.shard_accounting.len(), 1);
+        assert_eq!(solo.imbalance_ratio(), 1.0);
+        assert_eq!(solo.cross_shard_packets(), 0);
     }
 
     #[test]

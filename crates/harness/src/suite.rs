@@ -5,7 +5,7 @@ use netsim::SimDuration;
 use traces::{table1, LossStats, TraceSpec};
 
 use crate::runner::{resolve_jobs, run_indexed, RunTiming, SuiteTiming};
-use crate::{run_trace_instrumented, ExperimentConfig, Protocol, RunMetrics};
+use crate::{run_trace_profiled, ExperimentConfig, Protocol, RunMetrics};
 
 /// Configuration of a full evaluation-suite run over the Table-1 traces.
 #[derive(Clone, PartialEq, Debug)]
@@ -48,6 +48,13 @@ pub struct SuiteConfig {
     /// checking is race-free under any worker count and the measured
     /// `pairs` stay byte-identical to a monitors-off run.
     pub monitor: bool,
+    /// When `true`, every reenactment self-profiles through a per-run
+    /// [`obs::ProfHandle`] (stride-sampled phase timings plus the engine's
+    /// always-on telemetry counters; see `docs/PROFILING.md`) into
+    /// [`SuiteResult::profs`]. Each run owns its handle (`!Send` by
+    /// design), so profiling is race-free under any worker count and the
+    /// measured `pairs` stay byte-identical to a profiler-off run.
+    pub profile: bool,
 }
 
 impl SuiteConfig {
@@ -63,6 +70,7 @@ impl SuiteConfig {
             capture_events: false,
             collect_metrics: false,
             monitor: false,
+            profile: false,
         }
     }
 
@@ -95,6 +103,13 @@ impl SuiteConfig {
     /// Turns on online invariant monitoring (see [`SuiteResult::health`]).
     pub fn with_monitor(mut self) -> Self {
         self.monitor = true;
+        self
+    }
+
+    /// Turns on the per-run self-profiler (see [`SuiteResult::profs`] and
+    /// `docs/PROFILING.md`).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 
@@ -226,6 +241,30 @@ impl RunProfile {
     }
 }
 
+/// The self-profile of one (trace × protocol) reenactment under the
+/// `cesrm-prof/1` profiler (see `docs/PROFILING.md`): stride-sampled phase
+/// timings plus the engine's always-on telemetry counters. Call counts and
+/// telemetry are deterministic; only the sampled nanosecond tallies inside
+/// [`RunProf::snapshot`] depend on the machine.
+#[derive(Clone, Debug)]
+pub struct RunProf {
+    /// Table-1 trace number (1-based).
+    pub trace: usize,
+    /// Trace name, e.g. `"WRN950919"`.
+    pub name: &'static str,
+    /// `"SRM"` or `"CESRM"`.
+    pub protocol: &'static str,
+    /// Per-phase call counts, timed-sample counts and sampled cycle
+    /// tallies.
+    pub snapshot: obs::ProfSnapshot,
+    /// Calendar-queue, arena and loss-model counters from the engine.
+    pub engine: netsim::EngineTelemetry,
+    /// Wall-clock time of the reenactment itself (setup through teardown,
+    /// excluding trace synthesis) — the denominator of the attribution
+    /// figure. Volatile.
+    pub wall: Duration,
+}
+
 /// The invariant-monitor verdict of one (trace × protocol) reenactment:
 /// the run's [`obs::MonitorReport`] plus enough context to interpret it on
 /// its own. Everything in here is derived from simulation-time events
@@ -266,6 +305,11 @@ pub struct SuiteResult {
     /// set. Kept out of [`TracePair`] so monitoring can never perturb the
     /// measurement comparisons.
     pub health: Vec<RunHealth>,
+    /// Per-run self-profiles from the `cesrm-prof/1` profiler, one per run
+    /// in slot order (SRM before CESRM per trace); empty unless
+    /// [`SuiteConfig::profile`] was set. Kept out of [`TracePair`] so
+    /// profiling can never perturb the measurement comparisons.
+    pub profs: Vec<RunProf>,
     /// Wall-clock observability of this invocation. Timing never feeds
     /// back into the measurements: two runs of equal configuration have
     /// equal `pairs` (and CSV output) regardless of `jobs`.
@@ -301,6 +345,19 @@ impl SuiteResult {
     pub fn total_anomalies(&self) -> u64 {
         self.health.iter().map(|h| h.report.stats.anomalies).sum()
     }
+
+    /// Folds every per-run profiler snapshot into one suite-wide snapshot,
+    /// in slot order. Merging is associative and the fold order is fixed,
+    /// so the deterministic members (calls, timed-sample counts) are
+    /// identical at every worker count. Empty when the suite ran without
+    /// [`SuiteConfig::profile`].
+    pub fn merged_prof(&self) -> obs::ProfSnapshot {
+        let mut merged = obs::ProfSnapshot::default();
+        for prof in &self.profs {
+            merged.merge(&prof.snapshot);
+        }
+        merged
+    }
 }
 
 /// A fully owned description of one (trace × protocol × seed) reenactment;
@@ -314,6 +371,7 @@ struct RunJob {
     capture: bool,
     profile: bool,
     monitor: bool,
+    prof: bool,
 }
 
 /// What one job sends back through the pool.
@@ -329,6 +387,8 @@ struct RunOutput {
     profile: Option<RunProfile>,
     /// The run's invariant-monitor verdict, when the suite asked for one.
     health: Option<RunHealth>,
+    /// The run's self-profile, when the suite asked for one.
+    prof: Option<RunProf>,
     timing: RunTiming,
 }
 
@@ -364,8 +424,24 @@ impl RunJob {
         } else {
             obs::MetricsHandle::off()
         };
-        let metrics =
-            run_trace_instrumented(&trace, self.protocol, &self.experiment, &handle, &registry);
+        // The self-profiler handle is likewise per-run and `!Send`; only
+        // its plain-data snapshot ships back through the pool.
+        let prof = if self.prof {
+            obs::ProfHandle::new()
+        } else {
+            obs::ProfHandle::off()
+        };
+        // simlint: allow(D002, reason = "attribution denominator for the cesrm-prof/1 report; never feeds simulation state")
+        let prof_started = Instant::now();
+        let (metrics, engine) = run_trace_profiled(
+            &trace,
+            self.protocol,
+            &self.experiment,
+            &handle,
+            &registry,
+            &prof,
+        );
+        let prof_wall = prof_started.elapsed();
         let events = self.capture.then(|| {
             let tree = trace.tree();
             RunEventLog {
@@ -398,6 +474,14 @@ impl RunJob {
             events_processed: metrics.events_processed,
             snapshot: registry.snapshot(),
         });
+        let prof_out = self.prof.then(|| RunProf {
+            trace: self.spec.number,
+            name: self.spec.name,
+            protocol: protocol_name,
+            snapshot: prof.snapshot(),
+            engine,
+            wall: prof_wall,
+        });
         RunOutput {
             spec: self.spec.clone(),
             metrics,
@@ -405,6 +489,7 @@ impl RunJob {
             events,
             profile,
             health,
+            prof: prof_out,
             timing: RunTiming {
                 trace: self.spec.number,
                 name: self.spec.name,
@@ -429,6 +514,7 @@ fn suite_jobs(cfg: &SuiteConfig, seed: u64) -> Vec<RunJob> {
                 capture: cfg.capture_events,
                 profile: cfg.collect_metrics,
                 monitor: cfg.monitor,
+                prof: cfg.profile,
             })
         })
         .collect()
@@ -445,6 +531,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
     let mut events = Vec::new();
     let mut profiles = Vec::new();
     let mut health = Vec::new();
+    let mut profs = Vec::new();
     let mut it = outputs.into_iter();
     while let (Some(mut srm), Some(mut cesrm)) = (it.next(), it.next()) {
         runs.push(srm.timing.clone());
@@ -455,6 +542,8 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         profiles.extend(cesrm.profile.take());
         health.extend(srm.health.take());
         health.extend(cesrm.health.take());
+        profs.extend(srm.prof.take());
+        profs.extend(cesrm.prof.take());
         pairs.push(TracePair {
             spec: srm.spec,
             trace_stats: srm
@@ -470,6 +559,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         events,
         profiles,
         health,
+        profs,
         timing: SuiteTiming {
             jobs: 0,
             wall: Duration::ZERO,

@@ -48,6 +48,7 @@ pub struct LmsSource {
     timers: BTreeMap<TimerToken, SourceTimer>,
     trace: obs::TraceHandle,
     metrics_replies_sent: obs::Counter,
+    prof: obs::ProfHandle,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -76,6 +77,7 @@ impl LmsSource {
             timers: BTreeMap::new(),
             trace: obs::TraceHandle::off(),
             metrics_replies_sent: obs::Counter::off(),
+            prof: obs::ProfHandle::off(),
         }
     }
 
@@ -91,6 +93,15 @@ impl LmsSource {
     /// (`lms.replies_sent`). Profiling is off by default.
     pub fn with_metrics(mut self, metrics: &obs::MetricsHandle) -> Self {
         self.metrics_replies_sent = metrics.counter("lms.replies_sent");
+        self
+    }
+
+    /// Builder-style installation of the per-run self-profiler handle:
+    /// every `on_packet` counts into the `lms_on_packet` phase, with one
+    /// in `stride` calls wall-clock timed (see `docs/PROFILING.md`). Off
+    /// by default.
+    pub fn with_prof(mut self, prof: obs::ProfHandle) -> Self {
+        self.prof = prof;
         self
     }
 
@@ -111,6 +122,7 @@ impl Agent for LmsSource {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: &Packet, _meta: &DeliveryMeta) {
+        let stamp = self.prof.begin(obs::Phase::LmsOnPacket);
         // The source answers any request that reaches it with a root-level
         // subcast (a full-tree retransmission).
         if let PacketBody::ExpeditedRequest {
@@ -151,6 +163,7 @@ impl Agent for LmsSource {
                     });
             }
         }
+        self.prof.end(obs::Phase::LmsOnPacket, stamp);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
@@ -198,6 +211,7 @@ pub struct LmsReceiver {
     timers: BTreeMap<TimerToken, u64>,
     trace: obs::TraceHandle,
     metrics_replies_sent: obs::Counter,
+    prof: obs::ProfHandle,
 }
 
 impl LmsReceiver {
@@ -223,6 +237,7 @@ impl LmsReceiver {
             timers: BTreeMap::new(),
             trace: obs::TraceHandle::off(),
             metrics_replies_sent: obs::Counter::off(),
+            prof: obs::ProfHandle::off(),
         }
     }
 
@@ -241,6 +256,15 @@ impl LmsReceiver {
     /// (`lms.replies_sent`). Profiling is off by default.
     pub fn with_metrics(mut self, metrics: &obs::MetricsHandle) -> Self {
         self.metrics_replies_sent = metrics.counter("lms.replies_sent");
+        self
+    }
+
+    /// Builder-style installation of the per-run self-profiler handle:
+    /// every `on_packet` counts into the `lms_on_packet` phase, with one
+    /// in `stride` calls wall-clock timed (see `docs/PROFILING.md`). Off
+    /// by default.
+    pub fn with_prof(mut self, prof: obs::ProfHandle) -> Self {
+        self.prof = prof;
         self
     }
 
@@ -395,6 +419,7 @@ impl Agent for LmsReceiver {
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: &Packet, _meta: &DeliveryMeta) {
+        let stamp = self.prof.begin(obs::Phase::LmsOnPacket);
         match &packet.body {
             PacketBody::Data { id } if id.source == self.source => {
                 if self.received.insert(id.seq.value()) {
@@ -421,6 +446,7 @@ impl Agent for LmsReceiver {
             }
             _ => {}
         }
+        self.prof.end(obs::Phase::LmsOnPacket, stamp);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {

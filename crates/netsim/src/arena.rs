@@ -60,6 +60,30 @@ struct Slot {
     packet: Packet,
 }
 
+/// Always-on allocation counters of one arena's lifetime. Deterministic
+/// (pure functions of the alloc/release sequence) and cheap: one add and
+/// one compare on paths that already mutate the same struct.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct ArenaTelemetry {
+    /// Total allocations.
+    pub allocs: u64,
+    /// Allocations served by recycling a free-listed slot (the rest grew
+    /// the slab); `allocs - recycled` equals the slab capacity.
+    pub recycled: u64,
+    /// High-water mark of concurrently live packets.
+    pub high_water: u64,
+}
+
+impl ArenaTelemetry {
+    /// Folds another arena's counters in (summing totals, maxing the
+    /// high-water figure), for aggregating across runs or shards.
+    pub fn merge(&mut self, other: &ArenaTelemetry) {
+        self.allocs += other.allocs;
+        self.recycled += other.recycled;
+        self.high_water = self.high_water.max(other.high_water);
+    }
+}
+
 /// A free-list slab of reference-counted [`Packet`] slots.
 ///
 /// See the module docs for the lifecycle. All operations are O(1);
@@ -70,6 +94,7 @@ pub struct PacketArena {
     slots: Vec<Slot>,
     free: Vec<u32>,
     live: usize,
+    telemetry: ArenaTelemetry,
 }
 
 /// A cheap body used to fill vacant slots; never observable through a valid
@@ -94,7 +119,13 @@ impl PacketArena {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            telemetry: ArenaTelemetry::default(),
         }
+    }
+
+    /// Lifetime allocation counters (see [`ArenaTelemetry`]).
+    pub fn telemetry(&self) -> ArenaTelemetry {
+        self.telemetry
     }
 
     /// Number of live (allocated, not yet fully released) packets.
@@ -115,7 +146,12 @@ impl PacketArena {
     /// scheduled hop), and only then move the packet into the slot.
     pub fn alloc(&mut self) -> PacketHandle {
         self.live += 1;
+        self.telemetry.allocs += 1;
+        if self.live as u64 > self.telemetry.high_water {
+            self.telemetry.high_water = self.live as u64;
+        }
         if let Some(index) = self.free.pop() {
+            self.telemetry.recycled += 1;
             let slot = &mut self.slots[index as usize];
             debug_assert_eq!(slot.pending, 0, "free-listed slot still referenced");
             slot.pending = 1;

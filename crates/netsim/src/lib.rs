@@ -85,14 +85,14 @@ mod time;
 mod tracer;
 
 pub use agent::{Agent, Context, DeliveryMeta, TimerToken};
-pub use arena::{PacketArena, PacketHandle};
+pub use arena::{ArenaTelemetry, PacketArena, PacketHandle};
 pub use config::NetConfig;
-pub use loss::{GilbertLoss, LossProcess, NoLoss, ProbabilisticLoss, TraceLoss};
+pub use loss::{GilbertLoss, LossProcess, LossTelemetry, NoLoss, ProbabilisticLoss, TraceLoss};
 pub use observer::{Direction, NullObserver, SimObserver};
 pub use packet::{
     CastClass, Packet, PacketBody, PacketId, RecoveryTuple, SeqNo, SessionData, SessionEcho,
 };
-pub use queue::SchedulerKind;
-pub use sim::{scheduled_event_footprint_bytes, CrossShardPacket, Simulator};
+pub use queue::{CalendarQueue, Entry, QueueTelemetry, SchedulerKind};
+pub use sim::{scheduled_event_footprint_bytes, CrossShardPacket, EngineTelemetry, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use tracer::{EventTracer, TraceEvent, TraceEventKind};

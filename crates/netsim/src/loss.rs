@@ -17,6 +17,47 @@ use crate::{Packet, SeqNo};
 pub trait LossProcess {
     /// Returns `true` iff `packet` is dropped on `link` this crossing.
     fn should_drop(&mut self, link: LinkId, packet: &Packet, rng: &mut StdRng) -> bool;
+
+    /// Batched-sampling counters, for processes that draw dwell times in
+    /// bulk (currently only [`GilbertLoss`]). `None` means the process has
+    /// nothing to report; the default keeps third-party implementations
+    /// source-compatible.
+    fn telemetry(&self) -> Option<LossTelemetry> {
+        None
+    }
+}
+
+/// Dwell-sampling counters of a batched loss process (see
+/// [`GilbertLoss`]): how many geometric dwell lengths were drawn and how
+/// long they ran. `dwell_sum / dwell_samples` is the mean state residency
+/// in link crossings — the number of crossings that consumed *no*
+/// randomness per draw, i.e. the payoff of batching.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct LossTelemetry {
+    /// Geometric dwell lengths drawn (state entries across all links).
+    pub dwell_samples: u64,
+    /// Sum of drawn dwell lengths, in link crossings (saturating).
+    pub dwell_sum: u64,
+    /// Longest single dwell drawn.
+    pub dwell_max: u64,
+}
+
+impl LossTelemetry {
+    /// Folds another process's counters in (summing totals, maxing the
+    /// longest dwell), for aggregating across runs or shards.
+    pub fn merge(&mut self, other: &LossTelemetry) {
+        self.dwell_samples += other.dwell_samples;
+        self.dwell_sum = self.dwell_sum.saturating_add(other.dwell_sum);
+        self.dwell_max = self.dwell_max.max(other.dwell_max);
+    }
+
+    fn record(&mut self, dwell: u64) {
+        self.dwell_samples += 1;
+        self.dwell_sum = self.dwell_sum.saturating_add(dwell);
+        if dwell > self.dwell_max {
+            self.dwell_max = dwell;
+        }
+    }
 }
 
 /// A loss process that never drops anything — the paper's "lossless
@@ -195,6 +236,7 @@ pub struct GilbertLoss {
     p_bg: f64,
     /// Chain state per link, indexed by link head node; grown on demand.
     links: Vec<GeState>,
+    telemetry: LossTelemetry,
 }
 
 impl GilbertLoss {
@@ -212,6 +254,7 @@ impl GilbertLoss {
             p_gb,
             p_bg,
             links: Vec::new(),
+            telemetry: LossTelemetry::default(),
         }
     }
 
@@ -250,14 +293,20 @@ impl LossProcess for GilbertLoss {
             // First crossing on this link: the chain starts good.
             st.in_bad = false;
             st.remaining = sample_geo(p_gb, rng);
+            self.telemetry.record(st.remaining);
         }
         let drop = st.in_bad;
         st.remaining -= 1;
         if st.remaining == 0 {
             st.in_bad = !st.in_bad;
             st.remaining = sample_geo(if st.in_bad { p_bg } else { p_gb }, rng);
+            self.telemetry.record(st.remaining);
         }
         drop
+    }
+
+    fn telemetry(&self) -> Option<LossTelemetry> {
+        Some(self.telemetry)
     }
 }
 

@@ -80,8 +80,54 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-/// A calendar queue over [`Entry`] values. See the [module docs](self) for
-/// the design; the externally visible contract is exactly "pop in `(at,
+/// Always-on operation counters of one queue's lifetime. Every field is a
+/// pure function of the push/pop sequence, so the telemetry is exactly as
+/// deterministic as the simulation itself (asserted by
+/// `tests/queue_proptest.rs`); the increments are single adds on paths
+/// that already touch the same cache lines.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct QueueTelemetry {
+    /// Total events pushed.
+    pub pushes: u64,
+    /// Total events popped.
+    pub pops: u64,
+    /// Pushes that overflowed the ring window into the far-future heap.
+    pub far_pushes: u64,
+    /// Far-future events promoted back into the ring as the window slid.
+    pub promotions: u64,
+    /// High-water occupancy of any single ring bucket.
+    pub max_bucket_len: u64,
+    /// Window advances (bitmap skips) performed by the pop path.
+    pub advances: u64,
+    /// Summed tick distance of those advances (mean skip =
+    /// `skip_ticks / advances`).
+    pub skip_ticks: u64,
+    /// Largest single advance, in ticks.
+    pub max_skip_ticks: u64,
+}
+
+impl QueueTelemetry {
+    /// `pushes - pops`: must equal the queue's live length at all times.
+    pub fn outstanding(&self) -> u64 {
+        self.pushes - self.pops
+    }
+
+    /// Folds another queue's counters in (summing totals, maxing the
+    /// high-water figures), for aggregating across runs or shards.
+    pub fn merge(&mut self, other: &QueueTelemetry) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.far_pushes += other.far_pushes;
+        self.promotions += other.promotions;
+        self.max_bucket_len = self.max_bucket_len.max(other.max_bucket_len);
+        self.advances += other.advances;
+        self.skip_ticks += other.skip_ticks;
+        self.max_skip_ticks = self.max_skip_ticks.max(other.max_skip_ticks);
+    }
+}
+
+/// A calendar queue over [`Entry`] values. See the module docs for the
+/// design; the externally visible contract is exactly "pop in `(at,
 /// seq)` order", identical to the legacy heap.
 pub struct CalendarQueue<T> {
     /// Ring of buckets indexed by `tick & BUCKET_MASK`.
@@ -98,6 +144,7 @@ pub struct CalendarQueue<T> {
     /// descending; popped from the back).
     active: bool,
     len: usize,
+    telemetry: QueueTelemetry,
 }
 
 impl<T> CalendarQueue<T> {
@@ -110,6 +157,7 @@ impl<T> CalendarQueue<T> {
             cur_tick: 0,
             active: false,
             len: 0,
+            telemetry: QueueTelemetry::default(),
         }
     }
 
@@ -117,6 +165,17 @@ impl<T> CalendarQueue<T> {
     #[inline]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Whether no events are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lifetime operation counters (see [`QueueTelemetry`]).
+    pub fn telemetry(&self) -> QueueTelemetry {
+        self.telemetry
     }
 
     #[inline]
@@ -153,27 +212,35 @@ impl<T> CalendarQueue<T> {
             self.active = false;
         }
         self.len += 1;
+        self.telemetry.pushes += 1;
         debug_assert!(tick >= self.cur_tick, "push behind the calendar cursor");
         if tick >= self.cur_tick + NUM_BUCKETS {
+            self.telemetry.far_pushes += 1;
             self.far.push(Reverse(entry));
             return;
         }
         let idx = (tick & BUCKET_MASK) as usize;
-        if tick == self.cur_tick && self.active {
+        let occupied = if tick == self.cur_tick && self.active {
             // The bucket is mid-drain and sorted descending: insert at the
             // sorted position so pops stay in (at, seq) order.
             let bucket = &mut self.buckets[idx];
             let pos = bucket.partition_point(|e| (e.at, e.seq) > (entry.at, entry.seq));
             bucket.insert(pos, entry);
+            bucket.len() as u64
         } else {
             let bucket = &mut self.buckets[idx];
             let first = bucket.is_empty();
             bucket.push(entry);
+            let occupied = bucket.len() as u64;
             if first {
                 // A nonempty inactive bucket is always already marked; only
                 // the empty -> nonempty transition needs the bitmap write.
                 self.mark_occupied(tick);
             }
+            occupied
+        };
+        if occupied > self.telemetry.max_bucket_len {
+            self.telemetry.max_bucket_len = occupied;
         }
     }
 
@@ -217,6 +284,12 @@ impl<T> CalendarQueue<T> {
     /// that now fall inside it, and activates the new current bucket.
     fn advance_to(&mut self, tick: u64) {
         debug_assert!(tick >= self.cur_tick);
+        let skip = tick - self.cur_tick;
+        self.telemetry.advances += 1;
+        self.telemetry.skip_ticks += skip;
+        if skip > self.telemetry.max_skip_ticks {
+            self.telemetry.max_skip_ticks = skip;
+        }
         self.cur_tick = tick;
         self.active = false;
         while let Some(Reverse(head)) = self.far.peek() {
@@ -225,6 +298,7 @@ impl<T> CalendarQueue<T> {
             }
             let Reverse(entry) = self.far.pop().expect("peeked entry exists");
             let t = Self::tick_of(entry.at);
+            self.telemetry.promotions += 1;
             self.buckets[(t & BUCKET_MASK) as usize].push(entry);
             self.mark_occupied(t);
         }
@@ -255,6 +329,7 @@ impl<T> CalendarQueue<T> {
                     }
                     let entry = self.buckets[idx].pop().expect("nonempty bucket");
                     self.len -= 1;
+                    self.telemetry.pops += 1;
                     return Some(entry);
                 }
             }
@@ -312,6 +387,7 @@ impl<T> CalendarQueue<T> {
         self.occupancy.fill(0);
         self.active = false;
         self.len = 0;
+        self.telemetry.pops += all.len() as u64;
         all
     }
 }
@@ -386,6 +462,15 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Calendar(q) => q.peek_at(),
             EventQueue::Heap(h) => h.peek().map(|Reverse(e)| e.at),
+        }
+    }
+
+    /// Lifetime operation counters. The legacy heap is uninstrumented
+    /// (it exists only for determinism cross-checks) and reports zeros.
+    pub fn telemetry(&self) -> QueueTelemetry {
+        match self {
+            EventQueue::Calendar(q) => q.telemetry(),
+            EventQueue::Heap(_) => QueueTelemetry::default(),
         }
     }
 

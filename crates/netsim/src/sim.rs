@@ -6,10 +6,12 @@ use rand::{Rng, SeedableRng};
 use topology::{LinkId, MulticastTree, NodeId};
 
 use crate::agent::{Agent, Context, DeliveryMeta, TimerToken};
-use crate::arena::{PacketArena, PacketHandle};
+use crate::arena::{ArenaTelemetry, PacketArena, PacketHandle};
+use crate::loss::LossTelemetry;
 use crate::observer::{Direction, NullObserver, SimObserver};
-use crate::queue::{Entry, EventQueue, SchedulerKind};
+use crate::queue::{Entry, EventQueue, QueueTelemetry, SchedulerKind};
 use crate::{CastClass, LossProcess, NetConfig, NoLoss, Packet, PacketBody, SimDuration, SimTime};
+use obs::Phase;
 
 /// Maps a packet onto the dependency-free tracing vocabulary of the `obs`
 /// crate: a body classification plus the data sequence number it concerns.
@@ -195,6 +197,54 @@ impl SimMetrics {
     }
 }
 
+/// One simulation's always-on engine counters, collected after a run via
+/// [`Simulator::telemetry`]. Everything here is a pure function of the
+/// simulated event sequence — deterministic at any worker or shard count
+/// — and cheap enough (plain integer adds on already-hot cache lines) to
+/// stay enabled unconditionally. The self-profiler turns these exact
+/// totals into per-phase call tallies (`docs/PROFILING.md`).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct EngineTelemetry {
+    /// Calendar-queue counters (occupancy, overflow promotions, bitmap
+    /// skip distances).
+    pub queue: QueueTelemetry,
+    /// Packet-arena counters (allocations, recycling, high-water).
+    pub arena: ArenaTelemetry,
+    /// Batched loss-process dwell counters; `None` unless the installed
+    /// process reports them (currently only `GilbertLoss`).
+    pub loss: Option<LossTelemetry>,
+    /// Link transmissions attempted (including ones that dropped or were
+    /// diverted to the cross-shard outbox).
+    pub transmits: u64,
+    /// Packets delivered to an attached agent.
+    pub deliveries: u64,
+    /// Flood fan-outs performed (full floods plus subcast down-floods).
+    pub fan_outs: u64,
+    /// Events processed by the dispatch loop.
+    pub events: u64,
+}
+
+impl EngineTelemetry {
+    /// Folds another engine's counters in (summing totals, maxing the
+    /// high-water figures), for aggregating across runs or shards. Note
+    /// that per-queue figures like bucket high-water depend on how events
+    /// were partitioned, so a merged aggregate is comparable only between
+    /// runs of equal shard count.
+    pub fn merge(&mut self, other: &EngineTelemetry) {
+        self.queue.merge(&other.queue);
+        self.arena.merge(&other.arena);
+        match (&mut self.loss, &other.loss) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.loss = Some(*theirs),
+            _ => {}
+        }
+        self.transmits += other.transmits;
+        self.deliveries += other.deliveries;
+        self.fan_outs += other.fan_outs;
+        self.events += other.events;
+    }
+}
+
 /// The discrete-event simulator: a multicast tree, per-direction link
 /// queues, a totally-ordered event queue, protocol agents, a loss process
 /// and an observer.
@@ -261,6 +311,16 @@ pub struct Simulator {
     observer: Box<dyn SimObserver>,
     trace: obs::TraceHandle,
     metrics: SimMetrics,
+    /// Per-run self-profiler handle; [`obs::ProfHandle::off`] by default.
+    prof: obs::ProfHandle,
+    /// Whether the event currently being dispatched is one of the
+    /// stride-sampled events whose engine phases are wall-clock timed.
+    /// Always `false` when profiling is off.
+    sampled: bool,
+    /// Always-on engine counters; see [`EngineTelemetry`].
+    transmits: u64,
+    deliveries: u64,
+    fan_outs: u64,
     rng: StdRng,
     events_processed: u64,
 }
@@ -326,6 +386,11 @@ impl Simulator {
             observer: Box::new(NullObserver),
             trace: obs::TraceHandle::off(),
             metrics: SimMetrics::off(),
+            prof: obs::ProfHandle::off(),
+            sampled: false,
+            transmits: 0,
+            deliveries: 0,
+            fan_outs: 0,
             events_processed: 0,
             tree,
             cfg,
@@ -567,6 +632,31 @@ impl Simulator {
         };
     }
 
+    /// Installs the per-run self-profiler handle (`docs/PROFILING.md`).
+    ///
+    /// Like the trace and metrics handles this is per-simulation owned
+    /// state, [`obs::ProfHandle::off`] by default; the enabled handle
+    /// times the engine phases of every stride-sampled event. Profiling
+    /// is observation-only — it never touches the rng, the event-queue
+    /// order, or any protocol state — so a profiled run's outputs are
+    /// byte-identical to an unprofiled one.
+    pub fn set_profiler(&mut self, prof: obs::ProfHandle) {
+        self.prof = prof;
+    }
+
+    /// The always-on engine counters accumulated so far.
+    pub fn telemetry(&self) -> EngineTelemetry {
+        EngineTelemetry {
+            queue: self.queue.telemetry(),
+            arena: self.arena.telemetry(),
+            loss: self.loss.telemetry(),
+            transmits: self.transmits,
+            deliveries: self.deliveries,
+            fan_outs: self.fan_outs,
+            events: self.events_processed,
+        }
+    }
+
     /// Attaches a protocol agent to `node`; its
     /// [`on_start`](Agent::on_start) runs at the current simulated time.
     ///
@@ -601,6 +691,7 @@ impl Simulator {
     /// [`inject_packet`](Simulator::inject_packet) this supports
     /// fine-grained protocol state-machine tests.
     pub fn step(&mut self) -> bool {
+        self.sampled = self.prof.tick_event();
         let Some(entry) = self.queue.pop_at_most(u64::MAX) else {
             return false;
         };
@@ -625,7 +716,19 @@ impl Simulator {
     /// events at exactly `until` were processed).
     pub fn run_until(&mut self, until: SimTime) {
         let limit = until.as_nanos();
-        while let Some(entry) = self.queue.pop_at_most(limit) {
+        loop {
+            // One branch per event when profiling is off; on every
+            // stride-th event when on, the engine phases below time
+            // themselves with Instant pairs (see docs/PROFILING.md).
+            self.sampled = self.prof.tick_event();
+            let pop_stamp = if self.sampled {
+                self.prof.stamp()
+            } else {
+                None
+            };
+            let entry = self.queue.pop_at_most(limit);
+            self.prof.record_since(Phase::QueuePop, pop_stamp);
+            let Some(entry) = entry else { break };
             debug_assert!(
                 entry.at >= self.now.as_nanos(),
                 "event queue went backwards"
@@ -708,6 +811,11 @@ impl Simulator {
     }
 
     fn push_with_seq(&mut self, at_ns: u64, seq: u64, kind: EventKind) {
+        let stamp = if self.sampled {
+            self.prof.stamp()
+        } else {
+            None
+        };
         self.queue.push(
             Entry {
                 at: at_ns,
@@ -716,6 +824,7 @@ impl Simulator {
             },
             self.now.as_nanos(),
         );
+        self.prof.record_since(Phase::QueuePush, stamp);
         self.metrics.queue_depth.set(self.queue.len() as i64);
     }
 
@@ -850,6 +959,12 @@ impl Simulator {
         mode: PropMode,
         turning_point: Option<NodeId>,
     ) {
+        self.fan_outs += 1;
+        let stamp = if self.sampled {
+            self.prof.stamp()
+        } else {
+            None
+        };
         let start = self.nbr_start[at.index()] as usize;
         let end = self.nbr_start[at.index() + 1] as usize;
         let parent = self.parent[at.index()];
@@ -868,6 +983,7 @@ impl Simulator {
             };
             self.transmit(at, nb, packet, handle, mode, tp);
         }
+        self.prof.record_since(Phase::FanOut, stamp);
     }
 
     fn flood_down(
@@ -877,6 +993,12 @@ impl Simulator {
         handle: PacketHandle,
         turning_point: Option<NodeId>,
     ) {
+        self.fan_outs += 1;
+        let stamp = if self.sampled {
+            self.prof.stamp()
+        } else {
+            None
+        };
         let has_parent = self.parent[at.index()] != u32::MAX;
         let start = self.nbr_start[at.index()] as usize + usize::from(has_parent);
         let end = self.nbr_start[at.index() + 1] as usize;
@@ -884,11 +1006,31 @@ impl Simulator {
             let c = self.nbrs[i];
             self.transmit(at, c, packet, handle, PropMode::FloodDown, turning_point);
         }
+        self.prof.record_since(Phase::FanOut, stamp);
     }
 
     /// Serializes the packet onto the link between adjacent nodes `a` and
     /// `b`, consults the loss process, and schedules the arrival hop.
     fn transmit(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        packet: &Packet,
+        handle: PacketHandle,
+        mode: PropMode,
+        turning_point: Option<NodeId>,
+    ) {
+        self.transmits += 1;
+        let stamp = if self.sampled {
+            self.prof.stamp()
+        } else {
+            None
+        };
+        self.transmit_inner(a, b, packet, handle, mode, turning_point);
+        self.prof.record_since(Phase::Transmit, stamp);
+    }
+
+    fn transmit_inner(
         &mut self,
         a: NodeId,
         b: NodeId,
@@ -917,7 +1059,14 @@ impl Simulator {
             (depart, state.delay)
         };
         self.observer.on_link_crossing(self.now, link, dir, packet);
-        if self.loss.should_drop(link, packet, &mut self.rng) {
+        let loss_stamp = if self.sampled {
+            self.prof.stamp()
+        } else {
+            None
+        };
+        let dropped = self.loss.should_drop(link, packet, &mut self.rng);
+        self.prof.record_since(Phase::LossDraw, loss_stamp);
+        if dropped {
             self.observer.on_drop(self.now, link, packet);
             self.metrics.link_dropped(link);
             self.trace.emit(self.now.as_nanos(), || {
@@ -1023,6 +1172,12 @@ impl Simulator {
         if self.agents[node.index()].is_none() {
             return;
         }
+        self.deliveries += 1;
+        let stamp = if self.sampled {
+            self.prof.stamp()
+        } else {
+            None
+        };
         self.observer.on_delivery(self.now, node, packet);
         if self.trace.is_enabled() {
             // Recovery-class deliveries only: original-data and session
@@ -1052,6 +1207,7 @@ impl Simulator {
             },
         };
         self.with_agent(node, |agent, ctx| agent.on_packet(ctx, packet, &meta));
+        self.prof.record_since(Phase::Deliver, stamp);
     }
 }
 

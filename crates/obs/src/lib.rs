@@ -35,6 +35,11 @@
 //!   monotone causality) plus repair-storm and latency-outlier anomaly
 //!   detection, fed at emit time via [`TraceHandle::with_monitors`] and
 //!   reported as a [`MonitorReport`] (catalogue in `docs/MONITORS.md`).
+//! * [`prof`] — the in-sim self-profiler ([`ProfHandle`]): exact,
+//!   deterministic per-phase call tallies plus stride-sampled wall-clock
+//!   timing, snapshotted into mergeable [`ProfSnapshot`]s and exported as
+//!   the `cesrm-prof/1` report / folded flamegraph stacks
+//!   (`docs/PROFILING.md`).
 //! * [`registry`] — the *runtime* half of observability: a per-simulation
 //!   metrics registry ([`MetricsHandle`]) of counters, high-water gauges,
 //!   log-scale histograms and a deterministic quantile sketch, snapshotted
@@ -72,6 +77,7 @@ mod event;
 mod fxhash;
 mod json;
 pub mod monitor;
+pub mod prof;
 pub mod provenance;
 pub mod registry;
 mod sink;
@@ -82,6 +88,9 @@ pub use json::to_json_line;
 pub use monitor::{
     Anomaly, AnomalyKind, Invariant, MonitorConfig, MonitorReport, MonitorSet, MonitorStats,
     Violation,
+};
+pub use prof::{
+    Phase, PhaseTally, ProfHandle, ProfSnapshot, ProfStamp, DEFAULT_PROF_STRIDE, PHASE_COUNT,
 };
 pub use provenance::{RecoveryPath, RecoveryTimeline, TimelineBuilder};
 pub use registry::{

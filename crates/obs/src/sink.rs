@@ -9,6 +9,7 @@ use std::rc::Rc;
 use crate::event::{Event, Record};
 use crate::json::to_json_line;
 use crate::monitor::{MonitorReport, MonitorSet};
+use crate::prof::{Phase, ProfHandle};
 
 /// Destination for trace [`Record`]s.
 ///
@@ -183,7 +184,16 @@ impl<W: Write> EventSink for JsonlSink<W> {
 #[derive(Clone, Default)]
 pub struct TraceHandle {
     sink: Option<Rc<RefCell<Box<dyn EventSink>>>>,
-    monitors: Option<Rc<RefCell<MonitorSet>>>,
+    monitors: Option<Rc<RefCell<MonitorFeed>>>,
+}
+
+/// The attached [`MonitorSet`] plus the profiler handle that times its
+/// feeds — kept together behind the shared `Rc` so the handle itself
+/// (embedded in every protocol core, and counted by their `state_bytes`
+/// accounting) stays two pointers wide.
+struct MonitorFeed {
+    set: MonitorSet,
+    prof: ProfHandle,
 }
 
 impl std::fmt::Debug for TraceHandle {
@@ -233,7 +243,24 @@ impl TraceHandle {
     /// handle, including [`TraceHandle::off`] — a monitor-only handle
     /// evaluates event closures but stores nothing.
     pub fn with_monitors(mut self, monitors: MonitorSet) -> Self {
-        self.monitors = Some(Rc::new(RefCell::new(monitors)));
+        self.monitors = Some(Rc::new(RefCell::new(MonitorFeed {
+            set: monitors,
+            prof: ProfHandle::off(),
+        })));
+        self
+    }
+
+    /// Attaches a profiler handle: every monitor feed is counted (and
+    /// stride-sampled) under [`Phase::MonitorFeed`]. A no-op when `prof`
+    /// is [`ProfHandle::off`] or when no monitors are attached (nothing
+    /// else is timed through the handle), so call it *after*
+    /// [`TraceHandle::with_monitors`]. The profiler lives behind the
+    /// shared monitor cell, so every clone of the handle times into the
+    /// same profile.
+    pub fn with_prof(self, prof: ProfHandle) -> Self {
+        if let Some(monitors) = &self.monitors {
+            monitors.borrow_mut().prof = prof;
+        }
         self
     }
 
@@ -259,7 +286,10 @@ impl TraceHandle {
         }
         let record = Record { t_ns, event: f() };
         if let Some(monitors) = &self.monitors {
-            monitors.borrow_mut().observe(&record);
+            let feed = &mut *monitors.borrow_mut();
+            let stamp = feed.prof.begin(Phase::MonitorFeed);
+            feed.set.observe(&record);
+            feed.prof.end(Phase::MonitorFeed, stamp);
         }
         if let Some(sink) = &self.sink {
             sink.borrow_mut().record(record);
@@ -288,7 +318,7 @@ impl TraceHandle {
     pub fn finish_monitors(&self) -> Option<MonitorReport> {
         self.monitors
             .as_ref()
-            .map(|m| std::mem::take(&mut *m.borrow_mut()).finish())
+            .map(|m| std::mem::take(&mut m.borrow_mut().set).finish())
     }
 }
 

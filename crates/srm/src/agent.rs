@@ -47,6 +47,7 @@ use crate::{Role, SourceConfig, SrmCore, SrmParams};
 /// ```
 pub struct SrmAgent {
     core: SrmCore,
+    prof: obs::ProfHandle,
 }
 
 impl SrmAgent {
@@ -60,6 +61,7 @@ impl SrmAgent {
     ) -> Self {
         SrmAgent {
             core: SrmCore::new(me, me, params, Role::Source(cfg), log),
+            prof: obs::ProfHandle::off(),
         }
     }
 
@@ -67,6 +69,7 @@ impl SrmAgent {
     pub fn receiver(me: NodeId, source: NodeId, params: SrmParams, log: SharedRecoveryLog) -> Self {
         SrmAgent {
             core: SrmCore::new(me, source, params, Role::Receiver, log),
+            prof: obs::ProfHandle::off(),
         }
     }
 
@@ -81,7 +84,10 @@ impl SrmAgent {
     ) -> Self {
         let mut core = SrmCore::new(me, source, params, Role::Receiver, log);
         core.set_timer_policy(policy);
-        SrmAgent { core }
+        SrmAgent {
+            core,
+            prof: obs::ProfHandle::off(),
+        }
     }
 
     /// Read access to the protocol engine.
@@ -115,6 +121,15 @@ impl SrmAgent {
         self.core.set_metrics(metrics);
         self
     }
+
+    /// Builder-style installation of the per-run self-profiler handle:
+    /// every `on_packet` counts into the `srm_on_packet` phase, with one
+    /// in `stride` calls wall-clock timed (see `docs/PROFILING.md`). Off
+    /// by default.
+    pub fn with_prof(mut self, prof: obs::ProfHandle) -> Self {
+        self.prof = prof;
+        self
+    }
 }
 
 impl Agent for SrmAgent {
@@ -123,9 +138,11 @@ impl Agent for SrmAgent {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: &Packet, meta: &DeliveryMeta) {
+        let stamp = self.prof.begin(obs::Phase::SrmOnPacket);
         self.core.on_packet(ctx, packet, meta);
         // Plain SRM has no expedited layer; drop the detection events.
         self.core.take_newly_detected();
+        self.prof.end(obs::Phase::SrmOnPacket, stamp);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
