@@ -176,6 +176,7 @@ pub struct ProfStamp {
 impl ProfStamp {
     fn now() -> ProfStamp {
         // simlint: allow(D002, reason = "sampled profiler timestamp; reaches only the volatile nanos fields of cesrm-prof/1, never simulation state")
+        // simlint: allow(D008, reason = "reachable from Simulator::run_until by design: the in-sim profiler stamps phases, and every nanos field it feeds is PROF_VOLATILE_FIELDS")
         ProfStamp { at: Instant::now() }
     }
 

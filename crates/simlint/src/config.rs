@@ -14,10 +14,18 @@ use crate::rules::RuleId;
 /// Parsed lint configuration.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Config {
-    /// Crates whose in-memory state must iterate deterministically: rule
-    /// D001 fires only inside `crates/<name>/…` for these names.
+    /// Crates whose in-memory state must iterate deterministically: rules
+    /// D001/D006 fire only inside `crates/<name>/…` for these names.
     pub state_crates: Vec<String>,
-    /// Per-rule file allowlists (repo-relative, `/`-separated). A listed
+    /// Crates running *inside* a simulation (protocol + engine code):
+    /// D007/D008 reachability is rooted at entry points in these crates,
+    /// which excludes the harness-side epoch loop by construction.
+    pub sim_crates: Vec<String>,
+    /// Call-graph roots for D007/D008, as `Type::method` or bare method
+    /// names (`on_packet` matches every trait impl of that name).
+    pub entry_points: Vec<String>,
+    /// Per-rule file allowlists (repo-relative, `/`-separated). Entries
+    /// are exact paths or prefix globs (`crates/criterion/**`); a matched
     /// file never produces findings for that rule.
     pub allow: BTreeMap<RuleId, Vec<String>>,
     /// Path prefixes excluded from the scan entirely (fixtures, vendor
@@ -25,6 +33,11 @@ pub struct Config {
     pub skip: Vec<String>,
     /// Default baseline file path, overridable with `--baseline`.
     pub baseline: Option<String>,
+    /// Directory holding `*.lock` schema snapshots (D009), repo-relative.
+    pub schema_lock_dir: Option<String>,
+    /// `(schema id, emitter scopes)` pairs from `[schemas]`. A scope is
+    /// `path/to/file.rs` or `path/to/file.rs#fn_name`.
+    pub schemas: Vec<(String, Vec<String>)>,
 }
 
 /// A configuration or baseline syntax error with its line number.
@@ -67,7 +80,7 @@ impl Config {
                     .ok_or_else(|| err(lineno, "unterminated section header"))?;
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "simlint" | "allow" => {}
+                    "simlint" | "allow" | "schemas" => {}
                     other => return Err(err(lineno, format!("unknown section [{other}]"))),
                 }
                 continue;
@@ -89,8 +102,27 @@ impl Config {
             }
             match (section.as_str(), key) {
                 ("simlint", "state_crates") => cfg.state_crates = parse_array(&value, lineno)?,
+                ("simlint", "sim_crates") => cfg.sim_crates = parse_array(&value, lineno)?,
+                ("simlint", "entry_points") => cfg.entry_points = parse_array(&value, lineno)?,
                 ("simlint", "skip") => cfg.skip = parse_array(&value, lineno)?,
                 ("simlint", "baseline") => cfg.baseline = Some(parse_string(&value, lineno)?),
+                ("schemas", "lock_dir") => {
+                    cfg.schema_lock_dir = Some(parse_string(&value, lineno)?);
+                }
+                ("schemas", id) => {
+                    // Schema ids contain `/`, so they are quoted keys.
+                    let id = id
+                        .strip_prefix('"')
+                        .and_then(|i| i.strip_suffix('"'))
+                        .ok_or_else(|| {
+                            err(
+                                lineno,
+                                format!("schema id must be a quoted key, got `{id}`"),
+                            )
+                        })?;
+                    cfg.schemas
+                        .push((id.to_string(), parse_array(&value, lineno)?));
+                }
                 ("allow", rule) => {
                     let id = RuleId::parse(rule)
                         .ok_or_else(|| err(lineno, format!("unknown rule id `{rule}`")))?;
@@ -102,11 +134,13 @@ impl Config {
         Ok(cfg)
     }
 
-    /// `true` when `rel_path` is allowlisted for `rule`.
+    /// `true` when `rel_path` is allowlisted for `rule`. Allow entries are
+    /// exact paths or prefix globs: `crates/criterion/**` matches every
+    /// file under `crates/criterion/`.
     pub fn is_allowed(&self, rule: RuleId, rel_path: &str) -> bool {
         self.allow
             .get(&rule)
-            .is_some_and(|files| files.iter().any(|f| f == rel_path))
+            .is_some_and(|files| files.iter().any(|f| allow_matches(f, rel_path)))
     }
 
     /// `true` when `rel_path` falls under a skipped prefix.
@@ -116,9 +150,22 @@ impl Config {
             .any(|p| rel_path == p || rel_path.starts_with(&format!("{p}/")))
     }
 
-    /// `true` when `crate_name` holds simulation state (D001 scope).
+    /// `true` when `crate_name` holds simulation state (D001/D006 scope).
     pub fn is_state_crate(&self, crate_name: &str) -> bool {
         self.state_crates.iter().any(|c| c == crate_name)
+    }
+
+    /// `true` when `crate_name` runs inside a simulation (D007/D008 scope).
+    pub fn is_sim_crate(&self, crate_name: &str) -> bool {
+        self.sim_crates.iter().any(|c| c == crate_name)
+    }
+}
+
+/// One allow entry against one path: exact match, or `prefix/**` glob.
+fn allow_matches(entry: &str, rel_path: &str) -> bool {
+    match entry.strip_suffix("/**") {
+        Some(prefix) => rel_path.starts_with(prefix) && rel_path[prefix.len()..].starts_with('/'),
+        None => entry == rel_path,
     }
 }
 
@@ -263,6 +310,57 @@ mod tests {
         assert!(!cfg.is_allowed(RuleId::D003, "crates/rand/src/lib.rs"));
         assert!(cfg.is_skipped("crates/simlint/tests/fixtures/crates/x/src/lib.rs"));
         assert!(!cfg.is_skipped("crates/simlint/tests/fixture.rs"));
+    }
+
+    #[test]
+    fn prefix_glob_allows() {
+        let cfg = Config::parse(
+            r#"
+            [allow]
+            D002 = ["crates/criterion/**", "crates/harness/src/runner.rs"]
+            "#,
+        )
+        .expect("valid config");
+        assert!(cfg.is_allowed(RuleId::D002, "crates/criterion/src/lib.rs"));
+        assert!(cfg.is_allowed(RuleId::D002, "crates/criterion/src/deep/mod.rs"));
+        assert!(cfg.is_allowed(RuleId::D002, "crates/harness/src/runner.rs"));
+        // The glob is a *path-segment* prefix, not a string prefix.
+        assert!(!cfg.is_allowed(RuleId::D002, "crates/criterion2/src/lib.rs"));
+        assert!(!cfg.is_allowed(RuleId::D002, "crates/harness/src/runner2.rs"));
+        // Bare `crates/criterion` without `/**` stays an exact match.
+        assert!(allow_matches("a/b.rs", "a/b.rs"));
+        assert!(!allow_matches("a", "a/b.rs"));
+    }
+
+    #[test]
+    fn parses_sim_and_schema_sections() {
+        let cfg = Config::parse(
+            r#"
+            [simlint]
+            sim_crates = ["netsim", "srm"]
+            entry_points = ["Simulator::run_until", "on_packet"]
+
+            [schemas]
+            lock_dir = "crates/simlint/schemas"
+            "cesrm-bench/1" = ["crates/harness/src/bench_report.rs"]
+            "simlint/2" = [
+              "crates/simlint/src/report.rs",
+            ]
+            "#,
+        )
+        .expect("valid config");
+        assert!(cfg.is_sim_crate("netsim"));
+        assert!(!cfg.is_sim_crate("harness"));
+        assert_eq!(cfg.entry_points, vec!["Simulator::run_until", "on_packet"]);
+        assert_eq!(
+            cfg.schema_lock_dir.as_deref(),
+            Some("crates/simlint/schemas")
+        );
+        assert_eq!(cfg.schemas.len(), 2);
+        assert_eq!(cfg.schemas[0].0, "cesrm-bench/1");
+        assert_eq!(cfg.schemas[1].1, vec!["crates/simlint/src/report.rs"]);
+        // Unquoted schema ids are rejected (they contain `/`).
+        assert!(Config::parse("[schemas]\ncesrm = [\"x.rs\"]").is_err());
     }
 
     #[test]

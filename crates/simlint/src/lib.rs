@@ -10,27 +10,43 @@
 //! enforces the contract mechanically.
 //!
 //! It is deliberately **dependency-free** (the workspace builds offline, so
-//! no `syn`/`serde`): a small hand-rolled [lexer] classifies every
-//! byte as code or non-code, and five [rules] (`D001`–`D005`) run
-//! over the token stream. See `docs/LINTS.md` for the rule catalogue,
-//! suppression syntax, and the baseline workflow.
+//! no `syn`/`serde`) and runs in **two passes**: pass 1 lexes every file
+//! with the hand-rolled [lexer], parses it into a lightweight item/function
+//! [model], and links the whole workspace into a call [graph] with
+//! module-path symbol resolution; pass 2 runs the file-local token rules
+//! (`D001`–`D005`), the flow-aware rules over the graph (`D006` float
+//! accumulation order, `D007` shard safety, `D008` transitive wall-clock/
+//! entropy reachability), and the report-[schema] drift locks (`D009`).
+//! See `docs/LINTS.md` for the rule catalogue, suppression syntax, and the
+//! baseline/lock workflows.
 //!
 //! ```text
-//! cargo run --release -p simlint            # human diagnostics
-//! cargo run --release -p simlint -- --json  # machine-readable report
+//! cargo run --release -p simlint                    # human diagnostics
+//! cargo run --release -p simlint -- --json          # simlint/2 report
+//! cargo run --release -p simlint -- --explain D008  # rule catalogue entry
+//! cargo run --release -p simlint -- --write-schemas # refresh D009 locks
 //! ```
 //!
 //! The binary exits `0` when no *new* (non-baselined) findings exist, `1`
-//! on new findings, `2` on usage or I/O errors.
+//! on new findings (or a blown `--max-wall-ms` budget), `2` on usage or
+//! I/O errors.
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod schema;
 
 pub use config::{Baseline, Config, ConfigError};
+pub use graph::{check_workspace, Workspace};
 pub use lexer::{lex, Tok, TokKind};
-pub use report::{render_human, render_json};
-pub use rules::{check_file, crate_of, Finding, RuleId};
-pub use scan::{scan_workspace, ScanReport};
+pub use model::{build_model, FileModel, FnModel};
+pub use report::{render_human, render_json, SIMLINT_SCHEMA, SIMLINT_VOLATILE_FIELDS};
+pub use rules::{
+    apply_suppressions, check_file, crate_of, explain, token_findings, Finding, RuleId,
+};
+pub use scan::{load_workspace, scan_loaded, scan_workspace, LoadedWorkspace, ScanReport};
+pub use schema::{check_schemas, write_schemas, SchemaStatus};

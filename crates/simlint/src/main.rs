@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! simlint [--root DIR] [--config FILE] [--baseline FILE] [--json]
-//!         [--write-baseline]
+//!         [--write-baseline] [--write-schemas] [--explain RULE]
+//!         [--max-wall-ms N]
 //! ```
 //!
 //! Defaults: `--root .`, `--config <root>/simlint.toml`, baseline from the
 //! config's `baseline` key (scans with an empty baseline when absent).
+//!
+//! Exit codes (documented contract, asserted in the fixture tests):
+//!
+//! - `0` — clean: no new findings (and, with `--max-wall-ms`, in budget);
+//! - `1` — new findings (or the wall-time budget was exceeded);
+//! - `2` — usage, configuration, or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simlint::{render_human, render_json, scan_workspace, Baseline, Config};
+use simlint::{explain, render_human, render_json, scan_loaded, schema, Baseline, Config, RuleId};
 
 struct Args {
     root: PathBuf,
@@ -19,6 +26,9 @@ struct Args {
     baseline: Option<PathBuf>,
     json: bool,
     write_baseline: bool,
+    write_schemas: bool,
+    explain: Option<String>,
+    max_wall_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +38,9 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         json: false,
         write_baseline: false,
+        write_schemas: false,
+        explain: None,
+        max_wall_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -39,10 +52,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--write-baseline" => args.write_baseline = true,
+            "--write-schemas" => args.write_schemas = true,
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain requires a rule id")?);
+            }
+            "--max-wall-ms" => {
+                let n = it.next().ok_or("--max-wall-ms requires a number")?;
+                args.max_wall_ms = Some(n.parse().map_err(|_| format!("bad --max-wall-ms `{n}`"))?);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: simlint [--root DIR] [--config FILE] [--baseline FILE] \
-                            [--json] [--write-baseline]"
+                            [--json] [--write-baseline] [--write-schemas] \
+                            [--explain RULE] [--max-wall-ms N]"
                         .into(),
                 );
             }
@@ -54,6 +76,18 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+
+    if let Some(rule) = &args.explain {
+        let id = RuleId::parse(rule).ok_or_else(|| {
+            format!(
+                "unknown rule id `{rule}` (known: {})",
+                RuleId::ALL.map(|r| r.to_string()).join(", ")
+            )
+        })?;
+        print!("{}", explain(id));
+        return Ok(true);
+    }
+
     let config_path = args
         .config
         .clone()
@@ -86,7 +120,21 @@ fn run() -> Result<bool, String> {
         _ => Baseline::default(),
     };
 
-    let report = scan_workspace(&args.root, &config, &baseline)?;
+    // simlint: allow(D002, reason = "the lint's own --max-wall-ms budget gate; a host-time read that never feeds simulation state")
+    let t0 = std::time::Instant::now();
+    let loaded = simlint::load_workspace(&args.root, &config)?;
+
+    if args.write_schemas {
+        let written = schema::write_schemas(&args.root, &loaded.ws, &config)?;
+        eprintln!("simlint: wrote {} schema lock(s):", written.len());
+        for w in &written {
+            eprintln!("  {w}");
+        }
+        return Ok(true);
+    }
+
+    let mut report = scan_loaded(&args.root, &loaded, &config, &baseline)?;
+    report.elapsed_ms = t0.elapsed().as_millis() as u64;
 
     if args.write_baseline {
         let path = baseline_path.ok_or(
@@ -107,7 +155,18 @@ fn run() -> Result<bool, String> {
     } else {
         print!("{}", render_human(&report));
     }
-    Ok(!report.failed())
+    let mut ok = !report.failed();
+    if let Some(budget) = args.max_wall_ms {
+        if report.elapsed_ms > budget {
+            eprintln!(
+                "simlint: wall time {} ms exceeds the {budget} ms budget — the \
+                 analyzer must not become the slow lane",
+                report.elapsed_ms
+            );
+            ok = false;
+        }
+    }
+    Ok(ok)
 }
 
 fn main() -> ExitCode {

@@ -1,21 +1,38 @@
 //! Human-readable and `--json` machine-readable report rendering.
 //!
-//! The JSON schema is versioned as `simlint/1` and hand-rolled (the
+//! The JSON schema is versioned as `simlint/2` and hand-rolled (the
 //! workspace is offline; no serde). Shape:
 //!
 //! ```json
 //! {
-//!   "schema": "simlint/1",
+//!   "schema": "simlint/2",
 //!   "files_scanned": 123,
+//!   "fns_indexed": 456,
+//!   "elapsed_ms": 310,
 //!   "new": [{"rule": "D001", "file": "crates/…", "line": 45, "message": "…"}],
 //!   "baselined": [ …same shape… ],
 //!   "stale_baseline": [{"rule": "D001", "file": "crates/…", "count": 2}],
+//!   "schemas": [{"id": "cesrm-bench/1", "ok": true}],
 //!   "ok": true
 //! }
 //! ```
+//!
+//! `simlint/2` extends `simlint/1` with `fns_indexed` (pass-1 call-graph
+//! coverage), `elapsed_ms` (wall time, machine-dependent), and the per-
+//! schema D009 verdicts. `elapsed_ms` is the only machine-dependent field
+//! (see `SIMLINT_VOLATILE_FIELDS`); everything else is a pure function of
+//! the scanned tree.
 
 use crate::rules::Finding;
 use crate::scan::ScanReport;
+
+/// Version tag the JSON report carries; bump on breaking schema change
+/// (the D009 lock for this id is pinned like every other report format).
+pub const SIMLINT_SCHEMA: &str = "simlint/2";
+
+/// `simlint/2` fields that vary across machines/runs: compare-tooling must
+/// ignore them (mirrors `PROF_VOLATILE_FIELDS` in `cesrm-prof/1`).
+pub const SIMLINT_VOLATILE_FIELDS: [&str; 1] = ["elapsed_ms"];
 
 /// Renders the human-readable report (one `file:line:` diagnostic per
 /// finding, then a summary line).
@@ -36,8 +53,9 @@ pub fn render_human(report: &ScanReport) -> String {
         ));
     }
     out.push_str(&format!(
-        "simlint: {} file(s) scanned, {} new finding(s), {} baselined — {}\n",
+        "simlint: {} file(s) scanned, {} fn(s) indexed, {} new finding(s), {} baselined — {}\n",
         report.files_scanned,
+        report.fns_indexed,
         report.new.len(),
         report.baselined.len(),
         if report.failed() { "FAIL" } else { "ok" }
@@ -45,10 +63,12 @@ pub fn render_human(report: &ScanReport) -> String {
     out
 }
 
-/// Renders the `simlint/1` JSON report.
+/// Renders the `simlint/2` JSON report.
 pub fn render_json(report: &ScanReport) -> String {
-    let mut out = String::from("{\n  \"schema\": \"simlint/1\",\n");
+    let mut out = format!("{{\n  \"schema\": \"{SIMLINT_SCHEMA}\",\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"fns_indexed\": {},\n", report.fns_indexed));
+    out.push_str(&format!("  \"elapsed_ms\": {},\n", report.elapsed_ms));
     out.push_str("  \"new\": ");
     render_findings(&mut out, &report.new);
     out.push_str(",\n  \"baselined\": ");
@@ -61,6 +81,17 @@ pub fn render_json(report: &ScanReport) -> String {
         out.push_str(&format!(
             "{{\"rule\": \"{rule}\", \"file\": \"{}\", \"count\": {count}}}",
             escape(file)
+        ));
+    }
+    out.push_str("],\n  \"schemas\": [");
+    for (i, s) in report.schemas.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"id\": \"{}\", \"ok\": {}}}",
+            escape(&s.id),
+            s.ok
         ));
     }
     out.push_str(&format!(
@@ -110,6 +141,7 @@ fn escape(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::rules::RuleId;
+    use crate::schema::SchemaStatus;
 
     fn sample() -> ScanReport {
         ScanReport {
@@ -122,6 +154,18 @@ mod tests {
             baselined: vec![],
             stale_baseline: vec![(RuleId::D002, "crates/x.rs".into(), 2)],
             files_scanned: 7,
+            fns_indexed: 31,
+            schemas: vec![
+                SchemaStatus {
+                    id: "cesrm-bench/1".into(),
+                    ok: true,
+                },
+                SchemaStatus {
+                    id: "cesrm-prof/1".into(),
+                    ok: false,
+                },
+            ],
+            elapsed_ms: 12,
         }
     }
 
@@ -131,6 +175,7 @@ mod tests {
         assert!(text.contains("crates/srm/src/core.rs:45: D001"));
         assert!(text.contains("FAIL"));
         assert!(text.contains("stale baseline entry D002"));
+        assert!(text.contains("31 fn(s) indexed"));
         let ok = render_human(&ScanReport::default());
         assert!(ok.contains("— ok"));
     }
@@ -138,10 +183,14 @@ mod tests {
     #[test]
     fn json_report_is_escaped_and_versioned() {
         let text = render_json(&sample());
-        assert!(text.contains("\"schema\": \"simlint/1\""));
+        assert!(text.contains("\"schema\": \"simlint/2\""));
         assert!(text.contains("\\\"quoted\\\""));
         assert!(text.contains("\"ok\": false"));
         assert!(text.contains("\"line\": 45"));
+        assert!(text.contains("\"fns_indexed\": 31"));
+        assert!(text.contains("\"elapsed_ms\": 12"));
+        assert!(text.contains("{\"id\": \"cesrm-bench/1\", \"ok\": true}"));
+        assert!(text.contains("{\"id\": \"cesrm-prof/1\", \"ok\": false}"));
         assert!(render_json(&ScanReport::default()).contains("\"ok\": true"));
     }
 }

@@ -39,19 +39,31 @@ pub enum RuleId {
     D004,
     /// Malformed, reason-less, or stale suppressions.
     D005,
+    /// Float accumulation over unordered iteration in a state crate.
+    D006,
+    /// Shared mutable state reachable from simulation entry points.
+    D007,
+    /// Wall clock / OS entropy transitively reachable from the simulation.
+    D008,
+    /// Report-emitter key set drifted from its committed schema lock.
+    D009,
 }
 
 impl RuleId {
     /// All rules, in id order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
         RuleId::D004,
         RuleId::D005,
+        RuleId::D006,
+        RuleId::D007,
+        RuleId::D008,
+        RuleId::D009,
     ];
 
-    /// Parses `"D001"`…`"D005"`.
+    /// Parses `"D001"`…`"D009"`.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s {
             "D001" => Some(RuleId::D001),
@@ -59,6 +71,10 @@ impl RuleId {
             "D003" => Some(RuleId::D003),
             "D004" => Some(RuleId::D004),
             "D005" => Some(RuleId::D005),
+            "D006" => Some(RuleId::D006),
+            "D007" => Some(RuleId::D007),
+            "D008" => Some(RuleId::D008),
+            "D009" => Some(RuleId::D009),
             _ => None,
         }
     }
@@ -71,6 +87,10 @@ impl RuleId {
             RuleId::D003 => "OS entropy outside the vendored rand shim",
             RuleId::D004 => "`unsafe` outside the allowlist",
             RuleId::D005 => "invalid or stale simlint suppression",
+            RuleId::D006 => "float accumulation over unordered iteration in a state crate",
+            RuleId::D007 => "shared mutable state reachable from a simulation entry point",
+            RuleId::D008 => "wall clock or OS entropy reachable from the simulation",
+            RuleId::D009 => "report schema drifted from its committed lock",
         }
     }
 }
@@ -83,8 +103,37 @@ impl fmt::Display for RuleId {
             RuleId::D003 => "D003",
             RuleId::D004 => "D004",
             RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+            RuleId::D007 => "D007",
+            RuleId::D008 => "D008",
+            RuleId::D009 => "D009",
         })
     }
+}
+
+/// The rule's full catalogue entry, extracted from the same `docs/LINTS.md`
+/// text the rendered docs ship (single source of truth for `--explain`).
+pub fn explain(rule: RuleId) -> String {
+    const CATALOGUE: &str = include_str!("../../../docs/LINTS.md");
+    let header = format!("### {rule}");
+    let mut out = String::new();
+    let mut in_section = false;
+    for line in CATALOGUE.lines() {
+        if in_section && (line.starts_with("### ") || line.starts_with("## ")) {
+            break;
+        }
+        if line.starts_with(&header) {
+            in_section = true;
+        }
+        if in_section {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out = format!("### {rule}\n\n{}\n", rule.summary());
+    }
+    out
 }
 
 /// One lint finding, anchored to a repo-relative file and 1-indexed line.
@@ -120,14 +169,24 @@ struct Suppression {
 /// Identifiers whose mere presence D003 flags. `from_entropy` and
 /// `thread_rng` are the rand-crate entry points; `OsRng`/`getrandom` the
 /// raw OS interfaces.
-const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "getrandom"];
+pub(crate) const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "getrandom"];
 
-/// Evaluates every rule against one file's token stream.
+/// Evaluates the file-local token rules (D001–D004) against one file and
+/// applies the suppression engine. Flow rules (D006–D008) and schema locks
+/// (D009) live in [`crate::graph`] / [`crate::schema`]; the scan driver
+/// merges their findings into [`apply_suppressions`] so one suppression
+/// syntax covers every rule.
 ///
 /// `rel_path` must be repo-relative with `/` separators (it drives the
 /// config's crate scoping and allowlists). Findings come back sorted by
 /// line.
 pub fn check_file(rel_path: &str, toks: &[Tok], config: &Config) -> Vec<Finding> {
+    let findings = token_findings(rel_path, toks, config);
+    apply_suppressions(rel_path, toks, findings, config)
+}
+
+/// The file-local token rules (D001–D004), *before* suppressions.
+pub fn token_findings(rel_path: &str, toks: &[Tok], config: &Config) -> Vec<Finding> {
     let crate_name = crate_of(rel_path);
     let is_state = crate_name.is_some_and(|c| config.is_state_crate(c));
     let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
@@ -193,6 +252,20 @@ pub fn check_file(rel_path: &str, toks: &[Tok], config: &Config) -> Vec<Finding>
             }
         }
     }
+    findings
+}
+
+/// Runs the suppression engine (D005) over one file: parses its
+/// `// simlint: allow(...)` comments, drops covered findings, and reports
+/// empty-reason / malformed / stale suppressions. `findings` must all
+/// belong to `rel_path` (any rule — token, flow, or schema findings alike).
+pub fn apply_suppressions(
+    rel_path: &str,
+    toks: &[Tok],
+    mut findings: Vec<Finding>,
+    config: &Config,
+) -> Vec<Finding> {
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
 
     // --- Suppressions (D005) -------------------------------------------
     let mut suppressions: Vec<Suppression> = Vec::new();
@@ -363,24 +436,31 @@ fn parse_suppression(comment: &str) -> Result<(RuleId, String), String> {
         .ok_or("expected `allow(RULE, reason = \"…\")` after `simlint:`")?
         .trim_start();
     let rest = rest.strip_prefix('(').ok_or("expected `(` after `allow`")?;
-    let close = rest.find(')').ok_or("missing closing `)`")?;
-    let args = &rest[..close];
-    let (rule_str, reason) = match args.split_once(',') {
+    // The reason is quote-delimited, so scan for its quotes *before*
+    // looking for the closing `)` — reasons may legitimately contain
+    // parentheses (`records()`, `--max-wall-ms` style flags, …).
+    let (rule_str, reason) = match rest.split_once(',') {
         Some((r, tail)) => {
-            let tail = tail.trim();
-            let reason = tail
+            let tail = tail
+                .trim_start()
                 .strip_prefix("reason")
                 .map(str::trim_start)
                 .and_then(|t| t.strip_prefix('='))
-                .map(str::trim)
+                .map(str::trim_start)
                 .ok_or("expected `reason = \"…\"` after the rule id")?;
-            let reason = reason
+            let tail = tail
                 .strip_prefix('"')
-                .and_then(|r| r.rfind('"').map(|end| &r[..end]))
                 .ok_or("reason must be a quoted string")?;
-            (r.trim(), reason.to_string())
+            let end = tail.find('"').ok_or("reason must be a quoted string")?;
+            if !tail[end + 1..].trim_start().starts_with(')') {
+                return Err("missing closing `)` after the reason".to_string());
+            }
+            (r.trim(), tail[..end].to_string())
         }
-        None => (args.trim(), String::new()),
+        None => {
+            let close = rest.find(')').ok_or("missing closing `)`")?;
+            (rest[..close].trim(), String::new())
+        }
     };
     let rule = RuleId::parse(rule_str).ok_or_else(|| format!("unknown rule id `{rule_str}`"))?;
     Ok((rule, reason))
@@ -476,6 +556,13 @@ mod tests {
 // simlint: allow(D001, reason = \"bounded map, drained sorted\")
 use std::collections::HashMap;
 type T = HashSet<u8>; // simlint: allow(D001, reason = \"test-only\")
+";
+        assert!(check("crates/srm/src/x.rs", src, &cfg).is_empty());
+        // Parentheses inside the quoted reason must not end the allow(...)
+        // group early — reasons routinely cite calls like `records()`.
+        let src = "\
+// simlint: allow(D001, reason = \"records() order is fixed (BTreeMap); see docs\")
+use std::collections::HashMap;
 ";
         assert!(check("crates/srm/src/x.rs", src, &cfg).is_empty());
         // The suppression does NOT leak past its target line.

@@ -18,8 +18,9 @@ fn fixture_root() -> PathBuf {
 }
 
 /// The config the fixture tree is scanned under: `fixture_crate` is the
-/// only "simulation-state" crate (so `other_crate` proves D001 scoping),
-/// and `allowed_clock.rs` is allowlisted for D002.
+/// only "simulation-state" *and* simulation crate (so `other_crate` proves
+/// D001 scoping), `allowed_clock.rs` is allowlisted for D002, and the
+/// three `fixture-*` schemas exercise the D009 lock diff.
 fn fixture_config() -> Config {
     let mut allow = BTreeMap::new();
     allow.insert(
@@ -28,7 +29,24 @@ fn fixture_config() -> Config {
     );
     Config {
         state_crates: vec!["fixture_crate".to_string()],
+        sim_crates: vec!["fixture_crate".to_string()],
+        entry_points: vec!["Simulator::run_until".to_string(), "on_packet".to_string()],
         allow,
+        schema_lock_dir: Some("schemas".to_string()),
+        schemas: vec![
+            (
+                "fixture-report/1".to_string(),
+                vec!["crates/fixture_crate/src/emit.rs".to_string()],
+            ),
+            (
+                "fixture-ok/1".to_string(),
+                vec!["crates/fixture_crate/src/emit_ok.rs".to_string()],
+            ),
+            (
+                "fixture-supp/1".to_string(),
+                vec!["crates/fixture_crate/src/emit_supp.rs".to_string()],
+            ),
+        ],
         ..Config::default()
     }
 }
@@ -107,13 +125,7 @@ fn fixture_findings_match_markers_exactly() {
 fn fixture_covers_every_rule() {
     let root = fixture_root();
     let expected = expected_markers(&root);
-    for rule in [
-        RuleId::D001,
-        RuleId::D002,
-        RuleId::D003,
-        RuleId::D004,
-        RuleId::D005,
-    ] {
+    for rule in RuleId::ALL {
         assert!(
             expected.iter().any(|(_, _, r)| *r == rule),
             "fixture must have at least one {rule} firing"
@@ -124,22 +136,97 @@ fn fixture_covers_every_rule() {
     // `simlint: allow(RULE, ...)` annotation that the scan accepted (i.e.
     // produced no finding at its site). D005's suppressed case is the
     // meta-suppression covering the deliberately-stale allow.
-    let text = fs::read_to_string(root.join("crates/fixture_crate/src/lib.rs"))
-        .expect("fixture lib.rs is readable");
-    let clock = fs::read_to_string(root.join("crates/fixture_crate/src/clock.rs"))
-        .expect("fixture clock.rs is readable");
+    let read = |name: &str| {
+        fs::read_to_string(root.join("crates/fixture_crate/src").join(name))
+            .unwrap_or_else(|_| panic!("fixture {name} is readable"))
+    };
+    let text = read("lib.rs");
+    let clock = read("clock.rs");
+    let accum = read("accum.rs");
+    let sim = read("sim.rs");
+    let helpers = read("helpers.rs");
+    let emit_supp = read("emit_supp.rs");
     for (rule, haystack) in [
         ("allow(D001, reason = \"bounded", text.as_str()),
         ("allow(D002, reason = \"fixture", clock.as_str()),
         ("allow(D003, reason = \"fixture", text.as_str()),
         ("allow(D004, reason = \"fixture", text.as_str()),
         ("allow(D005, reason = \"kept", text.as_str()),
+        ("allow(D006, reason = \"fixture", accum.as_str()),
+        ("allow(D007, reason = \"fixture", sim.as_str()),
+        ("allow(D008, reason = \"fixture", helpers.as_str()),
+        ("allow(D009, reason = \"fixture", emit_supp.as_str()),
     ] {
         assert!(
             haystack.contains(rule),
             "fixture must keep the suppressed case for `{rule}`"
         );
     }
+}
+
+#[test]
+fn schema_statuses_track_lock_verdicts() {
+    let root = fixture_root();
+    let report = scan_workspace(&root, &fixture_config(), &Baseline::default())
+        .expect("fixture scan succeeds");
+    let statuses: Vec<(&str, bool)> = report
+        .schemas
+        .iter()
+        .map(|s| (s.id.as_str(), s.ok))
+        .collect();
+    // `fixture-supp/1`'s drift is suppressed as a *finding* but the status
+    // still reports the lock as out of sync — suppression silences the
+    // gate, not the telemetry.
+    assert_eq!(
+        statuses,
+        vec![
+            ("fixture-report/1", false),
+            ("fixture-ok/1", true),
+            ("fixture-supp/1", false),
+        ]
+    );
+}
+
+#[test]
+fn explain_prints_catalogue_sections() {
+    for rule in RuleId::ALL {
+        let text = simlint::explain(rule);
+        assert!(
+            text.starts_with(&format!("### {rule}")),
+            "--explain {rule} must lead with its catalogue header, got: {text}"
+        );
+        assert!(
+            text.len() > 80,
+            "--explain {rule} must carry the full docs/LINTS.md entry"
+        );
+    }
+}
+
+/// Exit codes are a documented contract: 0 clean, 1 new findings, 2
+/// config/usage error. Exercised against the real binary.
+#[test]
+fn exit_codes_are_distinct_and_documented() {
+    let bin = env!("CARGO_BIN_EXE_simlint");
+    let run = |args: &[&str]| {
+        std::process::Command::new(bin)
+            .args(args)
+            .output()
+            .expect("simlint binary runs")
+    };
+    // 0: --explain on a known rule.
+    assert_eq!(run(&["--explain", "D006"]).status.code(), Some(0));
+    // 2: unknown rule id / unknown flag.
+    assert_eq!(run(&["--explain", "D042"]).status.code(), Some(2));
+    assert_eq!(run(&["--not-a-flag"]).status.code(), Some(2));
+    // 1: the fixture tree has new findings under an empty default config
+    // (D002/D003/D004/D005 fire without any config at all).
+    let root = fixture_root();
+    assert_eq!(
+        run(&["--root", root.to_str().expect("utf8 path")])
+            .status
+            .code(),
+        Some(1)
+    );
 }
 
 #[test]

@@ -1,0 +1,77 @@
+//! Float-accumulation fixture (D006): unproven and hash-dependent sources
+//! fire; slices, fields, ranges, and resolved method return types do not.
+
+pub struct Tally {
+    samples: Vec<f64>,
+}
+
+pub struct Opaque;
+
+pub struct Bag;
+
+impl Bag {
+    pub fn entries(&self) -> Opaque {
+        Opaque
+    }
+    pub fn sorted(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+pub fn unknown_source(bag: &Bag) -> f64 {
+    let mut total = 0.0;
+    for x in bag.entries() {
+        total += x; //~ D006
+    }
+    total
+}
+
+pub fn suppressed_source(bag: &Bag) -> f64 {
+    let mut total = 0.0;
+    for x in bag.entries() {
+        // simlint: allow(D006, reason = "fixture: the justified-suppression form of D006")
+        total += x;
+    }
+    total
+}
+
+pub fn hash_sum(map: &std::collections::HashMap<u64, f64>) -> f64 { //~ D001
+    map.values().sum::<f64>() //~ D006
+}
+
+// --- ordered negatives: none of these may fire ---------------------------
+
+impl Tally {
+    pub fn field_total(&self) -> f64 {
+        let mut w = 0.0;
+        for x in &self.samples {
+            w += x;
+        }
+        w
+    }
+}
+
+pub fn slice_total(xs: &[f64]) -> f64 {
+    let mut t = 0.0;
+    for x in xs {
+        t += x;
+    }
+    t
+}
+
+pub fn method_ret_total(bag: &Bag) -> f64 {
+    let mut t = 0.0;
+    for x in bag.sorted() {
+        t += x;
+    }
+    t
+}
+
+pub fn range_mean(n: u64) -> f64 {
+    (0..n).map(|i| i as f64).sum::<f64>()
+}
+
+pub fn int_count(bag: &Bag) -> u64 {
+    // Integer accumulation is associative: no float evidence, no finding.
+    bag.entries().sum::<u64>()
+}

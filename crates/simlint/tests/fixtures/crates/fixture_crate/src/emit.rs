@@ -1,0 +1,9 @@
+//! Schema-lock fixture (D009): the committed lock under `schemas/` pins
+//! keys {schema, runs}; the emitter below also writes `extra` — drift
+//! without a version bump, so the lint must fire on the id line.
+
+pub const REPORT_SCHEMA: &str = "fixture-report/1"; //~ D009
+
+pub fn doc() -> Vec<(&'static str, u64)> {
+    vec![("schema", 0), ("runs", 1), ("extra", 2)]
+}

@@ -1,0 +1,9 @@
+//! Schema-lock fixture (D009 negative): this emitter matches its lock
+//! exactly — keys, volatile list, and version — so nothing may fire.
+
+pub const OK_SCHEMA: &str = "fixture-ok/1";
+pub const OK_VOLATILE_FIELDS: [&str; 1] = ["wall_ms"];
+
+pub fn doc() -> String {
+    format!("{{\n  \"schema\": \"fixture-ok/1\",\n  \"wall_ms\": {}\n}}\n", 0)
+}

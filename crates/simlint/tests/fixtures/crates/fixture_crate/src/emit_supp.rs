@@ -1,0 +1,9 @@
+//! Schema-lock fixture (D009 suppressed): the key drift is real (the lock
+//! pins only `schema`) but excused by a reasoned allow on the id line.
+
+// simlint: allow(D009, reason = "fixture: the justified-suppression form of D009")
+pub const SUPP_SCHEMA: &str = "fixture-supp/1";
+
+pub fn doc() -> Vec<(&'static str, u64)> {
+    vec![("schema", 0), ("late", 1)]
+}

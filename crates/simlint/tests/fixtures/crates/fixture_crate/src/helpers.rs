@@ -1,0 +1,26 @@
+//! Flow-rule fixture (D008): a cross-module call chain from an entry point
+//! (`Simulator::run_until` in `sim.rs`) down to a wall-clock read two hops
+//! away, plus the stacked-allow quarantined twin.
+
+pub fn chain_a() -> u64 {
+    chain_b()
+}
+
+fn chain_b() -> u64 {
+    let _t = std::time::Instant::now(); //~ D002 D008
+    0
+}
+
+pub fn quarantined() -> u64 {
+    // simlint: allow(D002, reason = "fixture: profiling stamp, never feeds simulation state")
+    // simlint: allow(D008, reason = "fixture: reachable but quarantined; the justified-suppression form of D008")
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub fn dead_end() -> u64 {
+    // Negative: this read is NOT reachable from any entry point, so only
+    // the file-local D002 fires — no D008.
+    let _t = std::time::Instant::now(); //~ D002
+    0
+}

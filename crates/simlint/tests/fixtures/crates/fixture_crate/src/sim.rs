@@ -1,0 +1,34 @@
+//! Flow-rule fixture (D007): simulation entry points and shard-safety.
+//! `Simulator::run_until` and `Proto::on_packet` are the configured
+//! call-graph roots; only state reachable from them may fire.
+
+static mut SHARD_SCRATCH: u64 = 0; //~ D007
+
+pub struct Simulator;
+
+impl Simulator {
+    pub fn run_until(&mut self) {
+        self.step();
+        crate::helpers::chain_a();
+        crate::helpers::quarantined();
+    }
+
+    fn step(&mut self) {
+        let _guard = std::sync::Mutex::new(0u64); //~ D007
+    }
+
+    fn never_reached(&mut self) {
+        // Negative: no call chain from an entry point reaches this, so the
+        // lock below must NOT fire.
+        let _guard = std::sync::Mutex::new(1u64);
+    }
+}
+
+pub struct Proto;
+
+impl Proto {
+    pub fn on_packet(&mut self) {
+        // simlint: allow(D007, reason = "fixture: the justified-suppression form of D007")
+        let _n = std::sync::atomic::AtomicU64::new(0);
+    }
+}
