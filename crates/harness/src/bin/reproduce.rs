@@ -11,6 +11,7 @@
 //!     [--baseline-max-throughput-pct P] [--baseline-warn-only]
 //!     [--profile[=json|folded]] [--profile-out FILE]
 //!     [--profile-overhead] [--profile-overhead-max-pct P]
+//!     [--digest FILE] [--digest-overhead] [--digest-overhead-max-pct P]
 //! ```
 //!
 //! At `--scale 1.0` (default) the full Table-1 packet counts are reenacted;
@@ -55,6 +56,32 @@
 //! overhead exceeds `--profile-overhead-max-pct` (default 5, 50 ms noise
 //! floor).
 //!
+//! `--digest FILE` folds every run's canonical event stream into the
+//! hierarchical `cesrm-digest/1` trail (per-run → per-epoch → per-node ×
+//! time-bucket rolling digests; see `docs/DEBUGGING.md`) and writes it to
+//! `FILE`. The trail is byte-identical at any `--jobs` setting, which
+//! makes two trails a divergence oracle for `reproduce diff`.
+//! `--digest-overhead` reenacts the suite with the digest off (the same
+//! A/B shape as `--monitor-overhead`) and exits with status 3 when the
+//! CPU-time overhead exceeds `--digest-overhead-max-pct` (default 2,
+//! 50 ms noise floor).
+//!
+//! # `reproduce diff` — divergence triage
+//!
+//! ```text
+//! cargo run --release -p harness --bin reproduce -- diff A.json B.json
+//!     [--no-replay]
+//! ```
+//!
+//! Compares two `cesrm-digest/1` trails top-down (run → shard/subtree
+//! group → epoch → node × time-bucket), reports the first divergent
+//! window, re-runs the divergent scope on both sides with event capture
+//! pinned to that window, and prints the aligned two-column event diff
+//! ending in a `first divergence: t=…s node … EV_A vs EV_B` line. Exits
+//! 0 when identical, 1 on divergence, 2 on unusable input. Every `main`
+//! entry also installs the flight-recorder panic hook, so a crash dumps
+//! the last ≤64 trace events with their provenance context to stderr.
+//!
 //! # `reproduce scale` — million-receiver sweeps
 //!
 //! ```text
@@ -62,7 +89,7 @@
 //!     [--rungs N,N,...] [--shards N] [--protocol srm|cesrm] [--seed N]
 //!     [--packets N] [--losses N] [--csv FILE] [--bench-report FILE|-]
 //!     [--check-identity] [--no-identity] [--in-process] [--max-rss-mb N]
-//!     [--profile[=json|folded]] [--profile-out FILE]
+//!     [--profile[=json|folded]] [--profile-out FILE] [--digest FILE]
 //! ```
 //!
 //! Runs the scaling experiment of `docs/SCALING.md`: each rung simulates
@@ -76,6 +103,14 @@
 //! `cesrm-bench/1` report. Exits 3 when a rung's peak RSS exceeds
 //! `--max-rss-mb`, 4 on an invariant violation or unrecovered loss, and 1
 //! when sharded results diverge from the unsharded canon.
+//!
+//! `--digest FILE` runs every rung with the hierarchical digest on
+//! (epoch width = the sharding lookahead, so the merged trail is
+//! byte-identical at any shard count) and writes the scale-mode
+//! `cesrm-digest/1` trail. With the digest on, the identity check
+//! compares digest trails as well as the CSV rows — and on divergence
+//! prints the bisected (epoch, node, bucket) window plus the aligned
+//! event diff from a pinned replay, instead of just two differing rows.
 //!
 //! `--profile` additionally runs every rung under the self-profiler and
 //! reports, per rung, the `cesrm-prof/1` document — including per-shard
@@ -96,13 +131,113 @@ enum ProfFormat {
 }
 
 fn main() {
+    // Any panic below dumps the active flight recorder's tail to stderr
+    // before unwinding, so a crashed run still says what the simulation
+    // was doing (docs/DEBUGGING.md).
+    obs::flight::install_panic_hook();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("scale") => return scale_main(&argv[1..]),
         Some("scale-rung") => return scale_rung_main(&argv[1..]),
+        Some("diff") => return diff_main(&argv[1..]),
         _ => {}
     }
     suite_main(argv);
+}
+
+/// `reproduce diff A B`: compares two `cesrm-digest/1` trails top-down,
+/// localizes the first divergent `(scope, epoch, node, bucket)` window,
+/// re-runs the divergent scope on both sides with event capture pinned to
+/// that window, and prints the aligned two-column event diff. Exits 0
+/// when the trails are identical, 1 on divergence, 2 on unusable input.
+fn diff_main(argv: &[String]) {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut no_replay = false;
+    for arg in argv {
+        match arg.as_str() {
+            "--no-replay" => no_replay = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown diff argument: {other}");
+                std::process::exit(2);
+            }
+            other => paths.push(other),
+        }
+    }
+    let [path_a, path_b] = paths[..] else {
+        eprintln!("usage: reproduce diff A.json B.json [--no-replay]");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> obs::JsonValue {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(2);
+        });
+        obs::JsonValue::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (load(path_a), load(path_b));
+    let div = match harness::diff_trails(&a, &b) {
+        Ok(harness::DiffOutcome::Identical { records }) => {
+            println!("digest trails identical ({records} records digested)");
+            return;
+        }
+        Ok(harness::DiffOutcome::Diverged(div)) => div,
+        Err(e) => {
+            eprintln!("trails are not comparable: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", div.render());
+    if !no_replay {
+        if let Some(line) = replay_divergence(&div) {
+            println!("{line}");
+        }
+    }
+    std::process::exit(1);
+}
+
+/// Label for one side of a replayed divergence.
+fn replay_label(spec: &harness::ReplaySpec) -> String {
+    match spec {
+        harness::ReplaySpec::Suite {
+            trace, protocol, ..
+        } => format!("trace {trace} / {protocol}"),
+        harness::ReplaySpec::Rung {
+            receivers, shards, ..
+        } => format!("{receivers} receivers, {shards} shard(s)"),
+    }
+}
+
+/// Re-runs both sides of a localized divergence with capture pinned to
+/// the divergent `(node, bucket)` window and prints the aligned event
+/// diff. Returns the one-line "first divergence" summary.
+fn replay_divergence(div: &harness::Divergence) -> Option<String> {
+    let node = div.node? as u32;
+    let (lo, hi) = div.window_ns()?;
+    let (spec_a, spec_b) = (div.replay_a.as_ref()?, div.replay_b.as_ref()?);
+    eprintln!(
+        "replaying the divergent window (node {node}, t={:.3}-{:.3}s) on both sides...",
+        lo as f64 / 1e9,
+        hi as f64 / 1e9
+    );
+    let events_a = spec_a.replay_window(node, lo, hi);
+    let events_b = spec_b.replay_window(node, lo, hi);
+    let (block, summary) = harness::aligned_event_diff(
+        &events_a,
+        &events_b,
+        &replay_label(spec_a),
+        &replay_label(spec_b),
+    );
+    print!("{block}");
+    summary.or_else(|| {
+        Some(
+            "replayed windows are identical (the nondeterminism is not reproducible \
+             from this configuration alone)"
+                .to_string(),
+        )
+    })
 }
 
 fn suite_main(argv: Vec<String>) {
@@ -124,6 +259,9 @@ fn suite_main(argv: Vec<String>) {
     let mut profile_out: Option<std::path::PathBuf> = None;
     let mut profile_overhead = false;
     let mut profile_overhead_max_pct: f64 = 5.0;
+    let mut digest_path: Option<std::path::PathBuf> = None;
+    let mut digest_overhead = false;
+    let mut digest_overhead_max_pct: f64 = 2.0;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -248,6 +386,19 @@ fn suite_main(argv: Vec<String>) {
                     .and_then(|v| v.parse().ok())
                     .expect("--profile-overhead-max-pct requires a percentage");
             }
+            "--digest" => {
+                digest_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--digest requires an output path"),
+                ));
+                cfg.digest = true;
+            }
+            "--digest-overhead" => digest_overhead = true,
+            "--digest-overhead-max-pct" => {
+                digest_overhead_max_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--digest-overhead-max-pct requires a percentage");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -260,6 +411,10 @@ fn suite_main(argv: Vec<String>) {
     }
     if (profile_out.is_some() || profile_overhead) && profile.is_none() {
         eprintln!("--profile-out / --profile-overhead require --profile (nothing is profiled)");
+        std::process::exit(2);
+    }
+    if digest_overhead && digest_path.is_none() {
+        eprintln!("--digest-overhead requires --digest (nothing is digested)");
         std::process::exit(2);
     }
     cfg.profile = profile.is_some();
@@ -318,6 +473,19 @@ fn suite_main(argv: Vec<String>) {
         );
         println!("{}", harness::slowest_text(&result.events, trace_slowest));
     }
+    if let Some(path) = &digest_path {
+        if let Err(e) = harness::write_suite_digest(path, &cfg, &result) {
+            eprintln!("failed to write digest trail: {e}");
+            std::process::exit(1);
+        }
+        let digested: u64 = result.digests.iter().map(|d| d.snapshot.count()).sum();
+        eprintln!(
+            "wrote {} digest trail ({} runs, {digested} records) to {}",
+            harness::DIGEST_SCHEMA,
+            result.digests.len(),
+            path.display()
+        );
+    }
     let mut health_violations = 0;
     if let Some(path) = &health_path {
         if let Err(e) = harness::write_health(path, &cfg, &result) {
@@ -362,6 +530,21 @@ fn suite_main(argv: Vec<String>) {
             wall_on_s: on.wall.as_secs_f64(),
             cpu_off_s: off.cpu_total().as_secs_f64(),
             cpu_on_s: on.cpu_total().as_secs_f64(),
+        }
+    });
+    // Same A/B shape for the digest: reenact the identical suite with the
+    // digest (and its flight recorder) off; the delta is the per-event
+    // hashing itself, budgeted far tighter than the monitors.
+    let dig_overhead = digest_overhead.then(|| {
+        eprintln!("measuring digest overhead: reenacting the suite with the digest off...");
+        let mut alt = cfg.clone();
+        alt.digest = false;
+        let off = run_suite(&alt);
+        harness::MonitorOverhead {
+            wall_off_s: off.timing.wall.as_secs_f64(),
+            wall_on_s: result.timing.wall.as_secs_f64(),
+            cpu_off_s: off.timing.cpu_total().as_secs_f64(),
+            cpu_on_s: result.timing.cpu_total().as_secs_f64(),
         }
     });
     // Same A/B shape for the profiler: reenact the identical suite with
@@ -492,6 +675,23 @@ fn suite_main(argv: Vec<String>) {
             std::process::exit(3);
         }
     }
+    if let Some(o) = &dig_overhead {
+        println!(
+            "digest overhead: cpu {:.3} s off vs {:.3} s on ({:+.1}%, limit +{:.1}%, \
+             50 ms noise floor)",
+            o.cpu_off_s,
+            o.cpu_on_s,
+            o.overhead_pct(),
+            digest_overhead_max_pct
+        );
+        if !o.within(digest_overhead_max_pct, 0.05) {
+            eprintln!(
+                "DIGEST OVERHEAD REGRESSION: {:+.1}% exceeds +{digest_overhead_max_pct:.1}%",
+                o.overhead_pct()
+            );
+            std::process::exit(3);
+        }
+    }
     if let Some(o) = &prof_overhead {
         println!(
             "profiler overhead: cpu {:.3} s off vs {:.3} s on ({:+.1}%, limit +{:.1}%, \
@@ -566,6 +766,9 @@ struct RungOutcome {
     /// The rung's folded-stack export, when the rung ran under
     /// `--profile`.
     folded: Option<String>,
+    /// The rung's `cesrm-digest/1` trail fragment (one `rungs[]` entry),
+    /// when the rung ran under `--digest`.
+    digest: Option<obs::JsonValue>,
 }
 
 fn protocol_from_name(name: &str) -> harness::Protocol {
@@ -615,6 +818,10 @@ fn run_rung_in_process(cfg: &harness::ScaleConfig) -> RungOutcome {
         obs::JsonValue::parse(&text).expect("prof_json emits well-formed JSON")
     });
     let folded = r.prof.as_ref().map(harness::prof_folded);
+    let digest = r
+        .digest
+        .is_some()
+        .then(|| harness::rung_digest_json(cfg, &r));
     RungOutcome {
         receivers: r.receivers,
         shards: r.shards,
@@ -640,6 +847,7 @@ fn run_rung_in_process(cfg: &harness::ScaleConfig) -> RungOutcome {
         peak_rss_bytes: peak_rss_bytes(),
         profile,
         folded,
+        digest,
     }
 }
 
@@ -667,6 +875,7 @@ fn scale_rung_main(argv: &[String]) {
             "--losses" => cfg.losses = take("--losses") as u32,
             "--monitor" => cfg.monitor = true,
             "--profile" => cfg.profile = true,
+            "--digest" => cfg.digest = true,
             "--protocol" => {
                 protocol = args.next().cloned().unwrap_or_else(|| {
                     eprintln!("--protocol requires srm or cesrm");
@@ -682,10 +891,16 @@ fn scale_rung_main(argv: &[String]) {
     cfg.protocol = protocol_from_name(&protocol);
     let o = run_rung_in_process(&cfg);
     let mut doc = rung_json(&o, &protocol);
-    // The folded export rides along only on the child→parent line; it is
-    // derived data and stays out of the bench document.
-    if let (obs::JsonValue::Obj(members), Some(folded)) = (&mut doc, &o.folded) {
-        members.push(("folded".into(), obs::JsonValue::Str(folded.clone())));
+    // The folded export and the digest trail fragment ride along only on
+    // the child→parent line; they are derived data and stay out of the
+    // bench document (and out of the locked `rung_json` key set).
+    if let obs::JsonValue::Obj(members) = &mut doc {
+        if let Some(folded) = &o.folded {
+            members.push(("folded".into(), obs::JsonValue::Str(folded.clone())));
+        }
+        if let Some(digest) = &o.digest {
+            members.push(("digest".into(), digest.clone()));
+        }
     }
     println!("{}", doc.to_string_compact());
 }
@@ -761,6 +976,10 @@ fn rung_from_json(doc: &obs::JsonValue) -> Option<RungOutcome> {
             .get("folded")
             .and_then(obs::JsonValue::as_str)
             .map(str::to_string),
+        digest: doc
+            .get("digest")
+            .filter(|v| !matches!(v, obs::JsonValue::Null))
+            .cloned(),
     })
 }
 
@@ -790,6 +1009,9 @@ fn run_rung(cfg: &harness::ScaleConfig, protocol: &str, in_process: bool) -> Run
             }
             if cfg.profile {
                 cmd.arg("--profile");
+            }
+            if cfg.digest {
+                cmd.arg("--digest");
             }
             match cmd.output() {
                 Ok(out) if out.status.success() => {
@@ -949,6 +1171,7 @@ fn scale_main(argv: &[String]) {
     let mut max_rss_mb: Option<u64> = None;
     let mut profile: Option<ProfFormat> = None;
     let mut profile_out: Option<std::path::PathBuf> = None;
+    let mut digest_path: Option<std::path::PathBuf> = None;
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -1017,6 +1240,11 @@ fn scale_main(argv: &[String]) {
                         .expect("--max-rss-mb requires a size in MiB"),
                 );
             }
+            "--digest" => {
+                digest_path = Some(std::path::PathBuf::from(
+                    args.next().expect("--digest requires an output path"),
+                ));
+            }
             other => {
                 eprintln!("unknown scale argument: {other}");
                 std::process::exit(2);
@@ -1058,6 +1286,7 @@ fn scale_main(argv: &[String]) {
         cfg.shards = auto_shards(receivers);
         cfg.monitor = receivers <= 10_000 && cfg.shards == 1;
         cfg.profile = profile.is_some();
+        cfg.digest = digest_path.is_some();
         eprintln!(
             "scale rung {receivers}: shards {}, monitors {}...",
             cfg.shards,
@@ -1079,7 +1308,50 @@ fn scale_main(argv: &[String]) {
                 alt.shards
             );
             let alt_outcome = run_rung(&alt, &protocol, in_process);
-            if alt_outcome.csv == outcome.csv {
+            // The digest trail is a much finer identity oracle than the
+            // aggregate CSV row: when the trails disagree, the bisector
+            // names the first divergent (epoch, node, bucket) window and
+            // a pinned replay shows the first divergent event.
+            let digests_diverge = match (&outcome.digest, &alt_outcome.digest) {
+                (Some(a), Some(b)) => {
+                    let wrap = |frag: &obs::JsonValue| {
+                        obs::JsonValue::parse(&harness::scale_digest_doc(
+                            &protocol,
+                            seed,
+                            packets,
+                            vec![frag.clone()],
+                        ))
+                        .expect("scale_digest_doc emits well-formed JSON")
+                    };
+                    match harness::diff_trails(&wrap(a), &wrap(b)) {
+                        Ok(harness::DiffOutcome::Identical { .. }) => false,
+                        Ok(harness::DiffOutcome::Diverged(mut div)) => {
+                            eprint!("{}", div.render());
+                            // The trail does not record the physical
+                            // sharding; pin each replay to the side's
+                            // actual shard count so a shard-dependent
+                            // divergence reproduces.
+                            let pin = |spec: &mut Option<harness::ReplaySpec>, n: u32| {
+                                if let Some(harness::ReplaySpec::Rung { shards, .. }) = spec {
+                                    *shards = n;
+                                }
+                            };
+                            pin(&mut div.replay_a, outcome.shards);
+                            pin(&mut div.replay_b, alt_outcome.shards);
+                            if let Some(line) = replay_divergence(&div) {
+                                eprintln!("{line}");
+                            }
+                            true
+                        }
+                        Err(e) => {
+                            eprintln!("digest trails not comparable: {e}");
+                            true
+                        }
+                    }
+                }
+                _ => false,
+            };
+            if alt_outcome.csv == outcome.csv && !digests_diverge {
                 eprintln!(
                     "scale rung {receivers}: byte-identical at {} vs {} shards",
                     outcome.shards, alt_outcome.shards
@@ -1154,6 +1426,29 @@ fn scale_main(argv: &[String]) {
             std::process::exit(1);
         }
         eprintln!("wrote scale bench report to {}", path.display());
+    }
+    if let Some(path) = &digest_path {
+        let fragments: Vec<obs::JsonValue> =
+            outcomes.iter().filter_map(|o| o.digest.clone()).collect();
+        if fragments.len() < outcomes.len() {
+            eprintln!(
+                "digest trail incomplete: {} of {} rungs shipped a fragment",
+                fragments.len(),
+                outcomes.len()
+            );
+            std::process::exit(1);
+        }
+        let doc = harness::scale_digest_doc(&protocol, seed, packets, fragments);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} digest trail ({} rungs) to {}",
+            harness::DIGEST_SCHEMA,
+            outcomes.len(),
+            path.display()
+        );
     }
 
     if let Some(budget) = max_rss_mb {

@@ -333,6 +333,7 @@ mod tests {
             events: Vec::new(),
             profiles: Vec::new(),
             profs: Vec::new(),
+            digests: Vec::new(),
             health: vec![RunHealth {
                 trace: 4,
                 name: "WRN950919",

@@ -49,6 +49,7 @@
 
 pub mod bench_report;
 mod csv;
+pub mod digest;
 mod experiment;
 pub mod health;
 mod prof_report;
@@ -63,6 +64,10 @@ pub use bench_report::{
     bench_report, bench_report_full, bench_report_with, compare_reports, strip_volatile,
     utc_date_stamp, BenchComparison, BenchThresholds, MonitorOverhead, ProfileTotals, BENCH_SCHEMA,
     VOLATILE_FIELDS,
+};
+pub use digest::{
+    aligned_event_diff, diff_trails, rung_digest_json, scale_digest_doc, suite_digest_json,
+    write_suite_digest, DiffOutcome, Divergence, ReplaySpec, WindowSink, DIGEST_SCHEMA,
 };
 pub use experiment::{
     run_trace, run_trace_instrumented, run_trace_profiled, run_trace_traced, ExperimentConfig,
@@ -79,8 +84,8 @@ pub use scale::{
     ScaleLoss, ScaleResult, ShardAccounting,
 };
 pub use suite::{
-    run_suite, run_suites, RunEventLog, RunHealth, RunProf, RunProfile, SuiteConfig, SuiteResult,
-    TracePair,
+    run_suite, run_suites, RunDigest, RunEventLog, RunHealth, RunProf, RunProfile, SuiteConfig,
+    SuiteResult, TracePair,
 };
 pub use sweep::{seed_sweep, Stat, SweepSummary};
 pub use tracing::{coverage, slowest_text, write_jsonl, TraceCoverage, TraceFilter};

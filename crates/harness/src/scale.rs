@@ -123,6 +123,19 @@ pub struct ScaleConfig {
     /// only the plain-data snapshot back; measurements stay byte-identical
     /// to a profiler-off run.
     pub profile: bool,
+    /// Fold the canonical event stream into a hierarchical digest in every
+    /// shard (see `docs/DEBUGGING.md`), with a flight recorder riding
+    /// along. The digest epoch width is the sharding lookahead — a pure
+    /// function of the topology, so the merged trail is byte-identical at
+    /// any shard count. Measurements stay byte-identical to a digest-off
+    /// run.
+    pub digest: bool,
+    /// Capture the raw trace events of one `(node, [t_lo_ns, t_hi_ns))`
+    /// window into [`ScaleResult::window_events`] — the replay side of
+    /// `reproduce diff` (see `docs/DEBUGGING.md`). Out-of-window events
+    /// cost one branch each, so a pinned replay stays cheap on large
+    /// rungs. Observation-only: measurements are unaffected.
+    pub capture_window: Option<(u32, u64, u64)>,
 }
 
 impl ScaleConfig {
@@ -141,6 +154,8 @@ impl ScaleConfig {
             losses: default_losses(receivers),
             monitor: false,
             profile: false,
+            digest: false,
+            capture_window: None,
         }
     }
 
@@ -246,6 +261,24 @@ pub struct ScaleResult {
     /// [`ScaleConfig::profile`] was set). Per-queue high-water figures
     /// depend on the shard count; totals do not. Not part of equality.
     pub engine: Option<netsim::EngineTelemetry>,
+    /// Merged hierarchical event-stream digest (`None` unless
+    /// [`ScaleConfig::digest`] was set). Leaf merging is commutative, so
+    /// the merged snapshot is byte-identical at any shard count. Not part
+    /// of equality (the identity check compares it explicitly and
+    /// localizes divergence instead).
+    pub digest: Option<obs::DigestSnapshot>,
+    /// Per-root-subtree digests of the merged snapshot, keyed by the
+    /// subtree's top node id (`0` is the root itself), in key order. The
+    /// subtree partition is a pure function of the tree — not of the shard
+    /// count — so this level is shard-count-invariant too. Empty unless
+    /// [`ScaleConfig::digest`] was set. Not part of equality.
+    pub digest_groups: Vec<(u32, obs::LevelDigest)>,
+    /// Raw trace events captured inside the pinned
+    /// [`ScaleConfig::capture_window`], sorted by simulated time (a
+    /// window pins one node, whose events all come from one shard, so the
+    /// stable sort reproduces that shard's emission order). Empty unless a
+    /// window was pinned. Not part of equality.
+    pub window_events: Vec<obs::Record>,
     /// Every loss lifecycle, sorted by `(receiver, sequence number)`.
     pub records: Vec<RecoveryRecord>,
 }
@@ -456,6 +489,8 @@ struct ShardOutcome {
     accounting: ShardAccounting,
     prof: Option<obs::ProfSnapshot>,
     engine: Option<netsim::EngineTelemetry>,
+    digest: Option<obs::DigestSnapshot>,
+    window: Vec<obs::Record>,
 }
 
 /// Mailboxes for the barrier exchange, indexed `[destination][sender]` so
@@ -529,6 +564,8 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
     let mut shard_accounting: Vec<ShardAccounting> = Vec::with_capacity(shards);
     let mut prof: Option<obs::ProfSnapshot> = None;
     let mut engine: Option<netsim::EngineTelemetry> = None;
+    let mut digest: Option<obs::DigestSnapshot> = None;
+    let mut window_events: Vec<obs::Record> = Vec::new();
     for o in outcomes {
         events += o.events;
         state_bytes += o.state_bytes;
@@ -548,7 +585,24 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
                 None => engine = Some(e),
             }
         }
+        if let Some(d) = o.digest {
+            // Leaf merging is commutative and associative, so the fold
+            // order (shard order here) cannot affect the merged snapshot.
+            digest
+                .get_or_insert_with(obs::DigestSnapshot::default)
+                .merge(&d);
+        }
+        window_events.extend(o.window);
     }
+    window_events.sort_by_key(|r| r.t_ns);
+    // The per-subtree digest level: group every node under the root child
+    // it hangs off (the root itself is group 0). A pure tree function, so
+    // the grouping — unlike the physical shard assignment — is identical
+    // at every shard count.
+    let digest_groups = digest.as_ref().map_or_else(Vec::new, |d| {
+        let tops = subtree_tops(&tree);
+        d.group_digests(|node| tops.get(node as usize).copied().unwrap_or(0))
+    });
     let epochs = shard_accounting.first().map_or(0, |a| a.epochs);
     records.sort_by_key(|r| (r.receiver, r.id.seq.value()));
 
@@ -597,8 +651,29 @@ pub fn run_scale(cfg: &ScaleConfig) -> ScaleResult {
         shard_accounting,
         prof,
         engine,
+        digest,
+        digest_groups,
+        window_events,
         records,
     }
+}
+
+/// For every node, the root-subtree it belongs to, identified by the top
+/// node of that subtree (the root child on the root→node path; the root
+/// itself maps to 0). BFS ids put parents before children, so one forward
+/// pass suffices — the same trick [`build_assignment`] uses.
+fn subtree_tops(tree: &MulticastTree) -> Vec<u32> {
+    let mut tops = vec![0u32; tree.len()];
+    for i in 1..tree.len() {
+        let n = NodeId(i as u32);
+        let p = tree.parent(n).expect("non-root nodes have parents");
+        tops[i] = if p == tree.root() {
+            n.0
+        } else {
+            tops[p.index()]
+        };
+    }
+    tops
 }
 
 /// Sums the per-link delays along the root→`node` path.
@@ -655,11 +730,46 @@ fn run_shard(
     // Monitors replay the structured event stream and assume the global
     // event order, which only the unsharded runner produces.
     let monitored = cfg.monitor && shards == 1;
-    let events_handle = if monitored {
-        obs::TraceHandle::off().with_monitors(obs::MonitorSet::standard())
-    } else {
-        obs::TraceHandle::off()
+    // A pinned capture window swaps the no-op sink for a filtering one;
+    // the filter is observation-only, so measurements are unaffected.
+    let mut events_handle = match cfg.capture_window {
+        Some((node, lo, hi)) => {
+            obs::TraceHandle::new(Box::new(crate::digest::WindowSink::new(node, lo, hi)))
+        }
+        None => obs::TraceHandle::off(),
     };
+    if monitored {
+        events_handle = events_handle.with_monitors(obs::MonitorSet::standard());
+    }
+    if cfg.digest {
+        // Epoch width = the sharding lookahead (a pure function of the
+        // topology, identical at any shard count); bucket width = the
+        // finer of the default bucket and one epoch, so every epoch has at
+        // least one bucket to bisect into.
+        events_handle = events_handle.with_digest(obs::DigestRecorder::new(
+            lookahead_ns,
+            obs::DEFAULT_BUCKET_NS.min(lookahead_ns),
+        ));
+    }
+    if cfg.digest || monitored {
+        events_handle = events_handle.with_flight(obs::FlightRecorder::new(
+            obs::FLIGHT_CAPACITY,
+            format!(
+                "scale rung {} receivers / {}, shard {}/{}, seed {}",
+                cfg.receivers,
+                match cfg.protocol {
+                    Protocol::Srm => "SRM",
+                    Protocol::Cesrm(_) => "CESRM",
+                },
+                me,
+                shards,
+                cfg.seed
+            ),
+        ));
+    }
+    if let Some(flight) = events_handle.flight() {
+        obs::flight::set_current(flight);
+    }
     sim.set_trace(events_handle.clone());
     log.borrow_mut().set_trace(events_handle.clone());
 
@@ -809,6 +919,13 @@ fn run_shard(
     }
     let records: Vec<RecoveryRecord> = log.borrow().records().copied().collect();
     let traffic = mem::replace(&mut *collector.borrow_mut(), TrafficCollector::new());
+    let digest = events_handle.digest_snapshot();
+    let window = if cfg.capture_window.is_some() {
+        events_handle.drain()
+    } else {
+        Vec::new()
+    };
+    obs::flight::clear_current();
     prof.end(obs::Phase::Teardown, teardown_stamp);
     ShardOutcome {
         events: sim.events_processed(),
@@ -819,6 +936,8 @@ fn run_shard(
         accounting,
         prof: cfg.profile.then(|| prof.snapshot()),
         engine: cfg.profile.then_some(engine),
+        digest,
+        window,
     }
 }
 
@@ -879,6 +998,32 @@ mod tests {
             assert_eq!(one.csv_row(), many.csv_row(), "at {shards} shards");
             assert_eq!(one.records, many.records, "at {shards} shards");
             assert_eq!(one.events, many.events, "at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn digest_trail_is_identical_at_any_shard_count_and_never_perturbs() {
+        let plain = run_scale(&small_cfg(100, 1));
+        let digest_cfg = |shards| ScaleConfig {
+            digest: true,
+            ..small_cfg(100, shards)
+        };
+        let one = run_scale(&digest_cfg(1));
+        // Digesting must not change the science.
+        assert_eq!(plain.csv_row(), one.csv_row());
+        assert_eq!(plain.records, one.records);
+        let d1 = one.digest.as_ref().expect("digest requested");
+        assert!(d1.count() > 0, "the rung emits canonical events");
+        assert!(!one.digest_groups.is_empty());
+        for shards in [2u32, 3] {
+            let many = run_scale(&digest_cfg(shards));
+            assert_eq!(one.csv_row(), many.csv_row(), "at {shards} shards");
+            let dn = many.digest.as_ref().expect("digest requested");
+            assert_eq!(d1, dn, "digest trail diverged at {shards} shards");
+            assert_eq!(
+                one.digest_groups, many.digest_groups,
+                "subtree digests diverged at {shards} shards"
+            );
         }
     }
 

@@ -55,6 +55,14 @@ pub struct SuiteConfig {
     /// design), so profiling is race-free under any worker count and the
     /// measured `pairs` stay byte-identical to a profiler-off run.
     pub profile: bool,
+    /// When `true`, every reenactment folds its canonical event stream
+    /// into a hierarchical [`obs::DigestRecorder`] (per-run → per-epoch →
+    /// per-(node, time-bucket); see `docs/DEBUGGING.md`) into
+    /// [`SuiteResult::digests`], and rides an [`obs::FlightRecorder`] so
+    /// violations and panics dump the last events. Each run owns its
+    /// recorder, so digesting is race-free under any worker count and the
+    /// measured `pairs` stay byte-identical to a digest-off run.
+    pub digest: bool,
 }
 
 impl SuiteConfig {
@@ -71,6 +79,7 @@ impl SuiteConfig {
             collect_metrics: false,
             monitor: false,
             profile: false,
+            digest: false,
         }
     }
 
@@ -110,6 +119,13 @@ impl SuiteConfig {
     /// `docs/PROFILING.md`).
     pub fn with_profile(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Turns on hierarchical event-stream digests and the flight recorder
+    /// (see [`SuiteResult::digests`] and `docs/DEBUGGING.md`).
+    pub fn with_digest(mut self) -> Self {
+        self.digest = true;
         self
     }
 
@@ -283,6 +299,24 @@ pub struct RunHealth {
     pub report: obs::MonitorReport,
 }
 
+/// The hierarchical event-stream digest of one (trace × protocol)
+/// reenactment: the run's [`obs::DigestSnapshot`] plus enough context to
+/// interpret it on its own. Everything in here is derived from
+/// simulation-time events only, so two runs of equal configuration
+/// produce byte-identical digest trails at every worker count.
+#[derive(Clone, Debug)]
+pub struct RunDigest {
+    /// Table-1 trace number (1-based).
+    pub trace: usize,
+    /// Trace name, e.g. `"WRN950919"`.
+    pub name: &'static str,
+    /// `"SRM"` or `"CESRM"`.
+    pub protocol: &'static str,
+    /// The per-(epoch, node, bucket) leaf digests of the run's canonical
+    /// event stream.
+    pub snapshot: obs::DigestSnapshot,
+}
+
 /// The full evaluation suite: every requested trace under SRM and CESRM.
 #[derive(Clone, Debug)]
 pub struct SuiteResult {
@@ -310,6 +344,11 @@ pub struct SuiteResult {
     /// [`SuiteConfig::profile`] was set. Kept out of [`TracePair`] so
     /// profiling can never perturb the measurement comparisons.
     pub profs: Vec<RunProf>,
+    /// Per-run hierarchical digests, one per run in slot order (SRM before
+    /// CESRM per trace); empty unless [`SuiteConfig::digest`] was set.
+    /// Kept out of [`TracePair`] so digesting can never perturb the
+    /// measurement comparisons.
+    pub digests: Vec<RunDigest>,
     /// Wall-clock observability of this invocation. Timing never feeds
     /// back into the measurements: two runs of equal configuration have
     /// equal `pairs` (and CSV output) regardless of `jobs`.
@@ -372,6 +411,7 @@ struct RunJob {
     profile: bool,
     monitor: bool,
     prof: bool,
+    digest: bool,
 }
 
 /// What one job sends back through the pool.
@@ -389,6 +429,8 @@ struct RunOutput {
     health: Option<RunHealth>,
     /// The run's self-profile, when the suite asked for one.
     prof: Option<RunProf>,
+    /// The run's hierarchical digest, when the suite asked for one.
+    digest: Option<RunDigest>,
     timing: RunTiming,
 }
 
@@ -416,6 +458,25 @@ impl RunJob {
         if self.monitor {
             handle = handle.with_monitors(obs::MonitorSet::standard());
         }
+        // The digest recorder and flight recorder are likewise per-run
+        // owned state. The flight ring rides along whenever monitors or
+        // digests are on, so a violation or a panic mid-suite dumps the
+        // last events with this run's label.
+        if self.digest {
+            handle = handle.with_digest(obs::DigestRecorder::default());
+        }
+        if self.digest || self.monitor {
+            handle = handle.with_flight(obs::FlightRecorder::new(
+                obs::FLIGHT_CAPACITY,
+                format!(
+                    "trace {} {} / {}, seed {}",
+                    self.spec.number, self.spec.name, protocol_name, self.seed
+                ),
+            ));
+        }
+        if let Some(flight) = handle.flight() {
+            obs::flight::set_current(flight);
+        }
         // Likewise for profiling: each run builds its registry on its own
         // worker thread (the handle is `!Send`), snapshots it, and ships
         // only the `Send` snapshot back through the pool.
@@ -442,6 +503,15 @@ impl RunJob {
             &prof,
         );
         let prof_wall = prof_started.elapsed();
+        obs::flight::clear_current();
+        let digest = self.digest.then(|| RunDigest {
+            trace: self.spec.number,
+            name: self.spec.name,
+            protocol: protocol_name,
+            snapshot: handle
+                .digest_snapshot()
+                .expect("digest jobs attach a recorder"),
+        });
         let events = self.capture.then(|| {
             let tree = trace.tree();
             RunEventLog {
@@ -490,6 +560,7 @@ impl RunJob {
             profile,
             health,
             prof: prof_out,
+            digest,
             timing: RunTiming {
                 trace: self.spec.number,
                 name: self.spec.name,
@@ -515,6 +586,7 @@ fn suite_jobs(cfg: &SuiteConfig, seed: u64) -> Vec<RunJob> {
                 profile: cfg.collect_metrics,
                 monitor: cfg.monitor,
                 prof: cfg.profile,
+                digest: cfg.digest,
             })
         })
         .collect()
@@ -532,6 +604,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
     let mut profiles = Vec::new();
     let mut health = Vec::new();
     let mut profs = Vec::new();
+    let mut digests = Vec::new();
     let mut it = outputs.into_iter();
     while let (Some(mut srm), Some(mut cesrm)) = (it.next(), it.next()) {
         runs.push(srm.timing.clone());
@@ -544,6 +617,8 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         health.extend(cesrm.health.take());
         profs.extend(srm.prof.take());
         profs.extend(cesrm.prof.take());
+        digests.extend(srm.digest.take());
+        digests.extend(cesrm.digest.take());
         pairs.push(TracePair {
             spec: srm.spec,
             trace_stats: srm
@@ -560,6 +635,7 @@ fn assemble(cfg: &SuiteConfig, outputs: Vec<RunOutput>) -> SuiteResult {
         profiles,
         health,
         profs,
+        digests,
         timing: SuiteTiming {
             jobs: 0,
             wall: Duration::ZERO,
@@ -754,6 +830,43 @@ mod tests {
             .counters
             .contains_key("cesrm.cache.hits"));
         assert!(r.total_events() > 0);
+    }
+
+    #[test]
+    fn digests_are_off_by_default_and_worker_count_invariant() {
+        assert!(tiny_suite().digests.is_empty());
+
+        let mut cfg = SuiteConfig::quick(0.01).with_digest();
+        cfg.traces = Some(vec![4, 13]);
+        let plain = {
+            let mut c = SuiteConfig::quick(0.01);
+            c.traces = Some(vec![4, 13]);
+            run_suite(&c)
+        };
+        let serial = run_suite(&cfg.clone().with_jobs(1));
+        let parallel = run_suite(&cfg.with_jobs(4));
+
+        // Digesting must not change the science.
+        assert_eq!(format!("{:?}", plain.pairs), format!("{:?}", serial.pairs));
+        // The digest trail is slot-ordered and worker-count-invariant.
+        assert_eq!(serial.digests.len(), 4);
+        assert_eq!(serial.digests[0].trace, 4);
+        assert_eq!(serial.digests[0].protocol, "SRM");
+        assert_eq!(serial.digests[1].protocol, "CESRM");
+        assert_eq!(serial.digests.len(), parallel.digests.len());
+        for (s, p) in serial.digests.iter().zip(&parallel.digests) {
+            assert!(
+                s.snapshot.count() > 0,
+                "{}/{} digested no events",
+                s.name,
+                s.protocol
+            );
+            assert_eq!(
+                s.snapshot, p.snapshot,
+                "{}/{} diverged across jobs",
+                s.name, s.protocol
+            );
+        }
     }
 
     #[test]

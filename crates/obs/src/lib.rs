@@ -73,7 +73,9 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 mod event;
+pub mod flight;
 mod fxhash;
 mod json;
 pub mod monitor;
@@ -83,7 +85,11 @@ pub mod registry;
 mod sink;
 pub mod value;
 
+pub use digest::{
+    DigestRecorder, DigestSnapshot, LeafDigest, LevelDigest, DEFAULT_BUCKET_NS, DEFAULT_EPOCH_NS,
+};
 pub use event::{Cast, Event, PacketClass, Record};
+pub use flight::{FlightRecorder, DEFAULT_CAPACITY as FLIGHT_CAPACITY, DUMP_TAIL};
 pub use json::to_json_line;
 pub use monitor::{
     Anomaly, AnomalyKind, Invariant, MonitorConfig, MonitorReport, MonitorSet, MonitorStats,

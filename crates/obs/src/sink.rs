@@ -6,7 +6,9 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::rc::Rc;
 
+use crate::digest::{DigestRecorder, DigestSnapshot};
 use crate::event::{Event, Record};
+use crate::flight::FlightRecorder;
 use crate::json::to_json_line;
 use crate::monitor::{MonitorReport, MonitorSet};
 use crate::prof::{Phase, ProfHandle};
@@ -181,10 +183,20 @@ impl<W: Write> EventSink for JsonlSink<W> {
 /// instrumentation protocol. A monitor-only handle (no sink) still counts
 /// as enabled — call sites that gate optional emissions on
 /// [`TraceHandle::is_enabled`] must produce events for monitors too.
+///
+/// Two further attachments follow the same per-run-owned pattern: a
+/// [`DigestRecorder`] ([`TraceHandle::with_digest`]) folding every record
+/// into the hierarchical run digest, and a [`FlightRecorder`]
+/// ([`TraceHandle::with_flight`]) ringing the most recent records for the
+/// crash/violation dumps. Either attachment alone also enables the handle
+/// — the digest must cover the same canonical event stream a capturing
+/// run sees.
 #[derive(Clone, Default)]
 pub struct TraceHandle {
     sink: Option<Rc<RefCell<Box<dyn EventSink>>>>,
     monitors: Option<Rc<RefCell<MonitorFeed>>>,
+    digest: Option<Rc<RefCell<DigestRecorder>>>,
+    flight: Option<Rc<RefCell<FlightRecorder>>>,
 }
 
 /// The attached [`MonitorSet`] plus the profiler handle that times its
@@ -218,7 +230,7 @@ impl TraceHandle {
     pub fn new(sink: Box<dyn EventSink>) -> Self {
         Self {
             sink: Some(Rc::new(RefCell::new(sink))),
-            monitors: None,
+            ..Self::default()
         }
     }
 
@@ -264,10 +276,43 @@ impl TraceHandle {
         self
     }
 
-    /// True when events are being captured or monitored (the closure in
-    /// [`TraceHandle::emit`] will be evaluated).
+    /// Attaches a [`DigestRecorder`]: every subsequent emit folds into the
+    /// hierarchical run digest. Works on any handle, including
+    /// [`TraceHandle::off`] — a digest-only handle evaluates event closures
+    /// (the digest covers the canonical stream) but stores no records.
+    pub fn with_digest(mut self, digest: DigestRecorder) -> Self {
+        self.digest = Some(Rc::new(RefCell::new(digest)));
+        self
+    }
+
+    /// Attaches a [`FlightRecorder`]: every subsequent emit rings through
+    /// it, and the run's first monitor violation dumps its tail to stderr.
+    /// Returns the shared cell so the caller can register it with
+    /// [`crate::flight::set_current`] for the panic hook.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(Rc::new(RefCell::new(flight)));
+        self
+    }
+
+    /// The attached flight recorder's shared cell, for panic-hook
+    /// registration; `None` when no recorder is attached.
+    pub fn flight(&self) -> Option<Rc<RefCell<FlightRecorder>>> {
+        self.flight.clone()
+    }
+
+    /// Snapshot of the attached digest recorder; `None` when the handle
+    /// records no digest.
+    pub fn digest_snapshot(&self) -> Option<DigestSnapshot> {
+        self.digest.as_ref().map(|d| d.borrow().snapshot())
+    }
+
+    /// True when events are being captured, monitored, digested or flight
+    /// recorded (the closure in [`TraceHandle::emit`] will be evaluated).
     pub fn is_enabled(&self) -> bool {
-        self.sink.is_some() || self.monitors.is_some()
+        self.sink.is_some()
+            || self.monitors.is_some()
+            || self.digest.is_some()
+            || self.flight.is_some()
     }
 
     /// True when a [`MonitorSet`] is attached.
@@ -281,15 +326,33 @@ impl TraceHandle {
     /// disabled call sites to a branch on two `Option`s.
     #[inline]
     pub fn emit<F: FnOnce() -> Event>(&self, t_ns: u64, f: F) {
-        if self.sink.is_none() && self.monitors.is_none() {
+        if !self.is_enabled() {
             return;
         }
         let record = Record { t_ns, event: f() };
+        // The flight ring is fed first so a violation flagged on this very
+        // record appears in its own dump.
+        if let Some(flight) = &self.flight {
+            flight.borrow_mut().push(record);
+        }
+        let mut violated = false;
         if let Some(monitors) = &self.monitors {
             let feed = &mut *monitors.borrow_mut();
             let stamp = feed.prof.begin(Phase::MonitorFeed);
+            let before = feed.set.violations().len();
             feed.set.observe(&record);
+            violated = feed.set.violations().len() > before;
             feed.prof.end(Phase::MonitorFeed, stamp);
+        }
+        if violated {
+            if let Some(flight) = &self.flight {
+                flight
+                    .borrow_mut()
+                    .dump_stderr("invariant violation", false);
+            }
+        }
+        if let Some(digest) = &self.digest {
+            digest.borrow_mut().observe(&record);
         }
         if let Some(sink) = &self.sink {
             sink.borrow_mut().record(record);
@@ -425,6 +488,36 @@ mod tests {
         // The undetected loss is a liveness violation with its timeline.
         assert_eq!(report.violations.len(), 1);
         assert!(TraceHandle::off().finish_monitors().is_none());
+    }
+
+    #[test]
+    fn digest_only_handle_is_enabled_and_folds_every_emit() {
+        let h = TraceHandle::off().with_digest(crate::digest::DigestRecorder::default());
+        assert!(h.is_enabled(), "netsim gates delivery events on this");
+        h.emit(1_000, || Event::LossDetected { node: 2, seq: 7 });
+        h.emit(2_000, || Event::LossDetected { node: 3, seq: 8 });
+        assert!(h.drain().is_empty(), "no sink: nothing is stored");
+        let snap = h.digest_snapshot().expect("digest was attached");
+        assert_eq!(snap.count(), 2);
+        assert!(TraceHandle::off().digest_snapshot().is_none());
+    }
+
+    #[test]
+    fn flight_recorder_rings_through_the_handle() {
+        let h =
+            TraceHandle::off().with_flight(crate::flight::FlightRecorder::new(2, "sink test run"));
+        assert!(h.is_enabled());
+        for i in 0..5 {
+            h.emit(i, || Event::LossDetected { node: 1, seq: i });
+        }
+        let cell = h.flight().expect("flight was attached");
+        let fr = cell.borrow();
+        assert_eq!(fr.seen(), 5);
+        assert_eq!(
+            fr.tail(64).iter().map(|r| r.t_ns).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert!(TraceHandle::off().flight().is_none());
     }
 
     #[test]
